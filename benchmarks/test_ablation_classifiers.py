@@ -1,0 +1,21 @@
+"""Bench: classifier comparison — why the paper picked J48."""
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_classifiers(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("ablation_classifiers"))
+    print("\n" + result.text)
+    acc = result.data["accuracies"]
+
+    # J48 must dominate the trivial baselines by a wide margin
+    assert acc["J48 (C4.5)"] > acc["ZeroR"] + 0.3
+    assert acc["J48 (C4.5)"] > acc["OneR"]
+
+    # and at least match the other real classifiers (the paper's finding)
+    assert acc["J48 (C4.5)"] >= acc["NaiveBayes"] - 0.01
+    assert acc["J48 (C4.5)"] >= acc["kNN (k=5)"] - 0.01
+
+    # the problem is genuinely learnable: good classifiers all clear 90%
+    assert acc["kNN (k=5)"] > 0.9
+    assert acc["J48 (C4.5)"] > 0.98

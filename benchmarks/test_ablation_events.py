@@ -1,0 +1,23 @@
+"""Bench: accuracy vs number of events (the paper's future-work question)."""
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_events(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("ablation_events"))
+    print("\n" + result.text)
+    ks = result.data["ks"]
+    accs = dict(zip(ks, result.data["accuracies"]))
+
+    # one event is not enough for the three-way problem...
+    assert accs[1] < accs[max(ks)]
+
+    # ...but the tree's own 3-5 events already reach near-final accuracy
+    # (Figure 2 uses 4 of the 15)
+    assert accs[4] > accs[max(ks)] - 0.02
+
+    # adding the remaining events never helps much (diminishing returns)
+    assert accs[max(ks)] - accs[6] < 0.02
+
+    # the full set is in the paper's accuracy regime
+    assert accs[max(ks)] > 0.97

@@ -1,0 +1,15 @@
+"""Bench: sensitivity to PMU measurement noise."""
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_noise(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("ablation_noise"))
+    print("\n" + result.text)
+    data = result.data
+
+    # the method must tolerate realistic counter noise: noisy accuracy
+    # stays within a point or two of noiseless
+    assert data["noisy"] > 0.97
+    assert data["quiet"] >= data["noisy"] - 0.005
+    assert data["quiet"] - data["noisy"] < 0.03

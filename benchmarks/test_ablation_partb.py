@@ -1,0 +1,24 @@
+"""Bench: the contribution of Part B (sequential training data)."""
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_partb(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("ablation_partb"))
+    print("\n" + result.text)
+    data = result.data
+
+    # Both protocols are strong on their own data...
+    assert data["full_cv"] > 0.97
+    assert data["a_only_cv"] > 0.95
+
+    # ...and a Part-A-only model still transfers reasonably to sequential
+    # programs, but the full set must not be worse than A alone
+    # (Section 2.2.2: adding Part B "indeed improved the accuracy").
+    assert data["full_cv"] >= data["a_only_cv"] - 0.01
+
+    # the A-trained model's bad-ma recall on B shows whether sequential
+    # memory pathologies generalize from MT training alone; the transfer
+    # gap is the entire reason Part B exists
+    assert 0.0 <= data["a_to_b_badma_recall"] <= 1.0
+    assert data["full_cv"] > data["a_to_b"]

@@ -1,0 +1,20 @@
+"""Bench: portability — retraining on a different simulated machine."""
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_platform(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("ablation_platform"))
+    print("\n" + result.text)
+    data = result.data
+
+    # steps 2-6 rerun on an 8-core machine with smaller caches still give a
+    # high-accuracy model...
+    assert data["cv_accuracy"] > 0.97
+
+    # ...whose root test is still a coherence event...
+    assert "Snoop" in data["root_event"] or "RFO" in data["root_event"]
+
+    # ...and whose detections on the benchmark models agree with the
+    # Westmere results
+    assert data["spot_agreement"] == data["spot_total"]

@@ -1,0 +1,32 @@
+"""Bench: Figure 2 — the learned decision tree."""
+
+from benchmarks.conftest import run_once
+
+
+def test_figure2_tree(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("figure2"))
+    print("\n" + result.text)
+    data = result.data
+
+    # Paper: 6 leaves, 11 nodes, 4 events.
+    assert data["n_leaves"] <= 8
+    assert data["n_nodes"] <= 15
+    assert len(data["events_used"]) <= 5
+
+    # The root tests event 11 (Snoop_Response.HIT"M") and that event alone
+    # decides bad-fs — the paper's headline structural finding.
+    assert data["root_event"] == "Snoop_Response.HIT_M"
+    rendering = data["rendering"]
+    first_line = rendering.splitlines()[0]
+    assert "Snoop_Response.HIT_M" in first_line
+
+    # bad-fs appears exactly once as a leaf, directly under the root's
+    # right branch (event 11 alone determines it).
+    assert rendering.count(": bad-fs") == 1
+
+    # Events 14 (L1D repl) and 13 (DTLB misses) separate good from bad-ma.
+    assert 14 in data["events_used"]
+    assert 11 in data["events_used"]
+
+    # All used events are Table 2 features.
+    assert all(1 <= n <= 15 for n in data["events_used"])

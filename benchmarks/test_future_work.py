@@ -1,0 +1,41 @@
+"""Bench: the paper's Section 6 future work, implemented."""
+
+from benchmarks.conftest import run_once
+
+
+def test_future_slices(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("future_slices"))
+    print("\n" + result.text)
+    data = result.data
+
+    # a good/bad-fs/good phased run is localized exactly
+    assert data["middle_all_fs"]
+    assert data["edges_no_fs"]
+    assert data["overall"] == "bad-fs"
+    # the contended phase dominates the run time
+    assert data["fs_time_fraction"] > 0.4
+
+
+def test_future_advisor(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("future_advisor"))
+    print("\n" + result.text)
+    data = result.data
+
+    assert data["label"] == "bad-fs"
+    assert data["n_contended"] >= 1
+    # padding the named lines buys a large speedup in replay
+    assert data["estimated_speedup"] > 2.0
+
+
+def test_future_c2c(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("future_c2c"))
+    print("\n" + result.text)
+    data = result.data
+
+    # sampling finds the contended line(s) and calls them false sharing
+    assert data["n_suspects"] >= 1
+    assert data["top_kind"] == "false-sharing-suspect"
+    # multiple threads at multiple offsets — the packed-struct signature
+    assert data["top_cpus"] >= 3
+    assert data["top_offsets"] >= 3
+    assert data["total_samples"] > 50

@@ -1,0 +1,20 @@
+"""Bench: Section 4's overhead comparison (< 2% vs ~20% vs ~5x)."""
+
+from benchmarks.conftest import run_once
+
+
+def test_overhead(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("overhead"))
+    print("\n" + result.text)
+    data = result.data
+
+    # the paper's headline practicality claim
+    assert data["worst_counting_pct"] < 2.0
+
+    for label, rep in data["reports"].items():
+        # ours << SHERIFF << shadow-memory
+        assert rep["counting_pct"] < rep["sheriff_pct"], label
+        assert rep["sheriff_pct"] / 100 + 1 < rep["shadow_factor"], label
+        # SHERIFF around 20%, shadow around 5x (the cited numbers)
+        assert 10 <= rep["sheriff_pct"] <= 30, label
+        assert 4.0 <= rep["shadow_factor"] <= 6.0, label

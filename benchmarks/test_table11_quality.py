@@ -1,0 +1,21 @@
+"""Bench: Table 11 — detection quality (correctness, FP rate)."""
+
+from benchmarks.conftest import run_once
+
+
+def test_table11_quality(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("table11"))
+    print("\n" + result.text)
+    data = result.data
+
+    # The paper's headline: ZERO false positives.
+    assert data["fp"] == 0
+    assert data["fp_rate"] == 0.0
+
+    # Correctness 97.8% in the paper; same regime here.
+    assert data["correctness"] >= 0.96
+
+    # The misses are the handful of borderline cells (paper: 7).
+    assert data["fn"] <= 10
+    assert data["tp"] >= 18
+    assert data["tn"] >= 285

@@ -1,0 +1,43 @@
+"""Bench: Table 1 — the motivating parallel dot product.
+
+Paper shape: Method 1 (good) scales with threads; Method 2 (false sharing)
+is flat and *slower than sequential* once parallel; Method 3 (bad memory
+access) is several times slower sequentially and converges to Method 2's
+times when parallel.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_pdot(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("table1"))
+    print("\n" + result.text)
+    data = result.data
+
+    # Method 1 scales down substantially from T=1 to T=16.
+    assert data["good_speedup"] > 4.0
+
+    # Method 2 at T=4 is SLOWER than the sequential good run (paper: 79.3s
+    # vs 44.1s, i.e. ~1.8x): parallelism hurts under false sharing.
+    assert data["fs_t4_vs_good_t1"] > 1.0
+
+    # Method 3 sequential is several times the good sequential time.
+    assert data["ma_t1_vs_good_t1"] > 2.0
+
+    secs = data["seconds"]
+    good = {t: secs[f"1: Good|{t}"] for t in (1, 4, 8, 12, 16)}
+    fs = {t: secs[f"2: Bad, false sharing|{t}"] for t in (1, 4, 8, 12, 16)}
+    ma = {t: secs[f"3: Bad, memory access|{t}"] for t in (1, 4, 8, 12, 16)}
+
+    # good is monotone non-increasing in threads
+    assert good[16] < good[4] < good[1]
+    # bad-fs stays within a band for T>=4 and never scales down the way
+    # good does (the paper's flat 76-79s row); cross-socket transfers at
+    # higher thread counts are allowed to make it modestly worse
+    fs_band = [fs[t] for t in (4, 8, 12, 16)]
+    assert max(fs_band) / min(fs_band) < 2.0
+    assert fs[16] > 0.8 * fs[4]
+    # at T=1 methods 1 and 2 coincide (no sharing with one thread)
+    assert abs(fs[1] - good[1]) / good[1] < 0.05
+    # parallel bad-ma lands near parallel bad-fs times (rows converge)
+    assert 0.2 < ma[8] / fs[8] < 5.0

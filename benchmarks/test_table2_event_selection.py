@@ -1,0 +1,37 @@
+"""Bench: Table 2 — the two-pass 2x event selection."""
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_event_selection(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("table2"))
+    print("\n" + result.text)
+    data = result.data
+
+    # The paper's key events must survive our selection.
+    for must in (
+        "Snoop_Response.HIT_M",
+        "Snoop_Response.HIT_E",
+        "Snoop_Response.HIT",
+        "L2_Write.RFO.S_state",
+        "L1D_Cache_Replacements",
+        "DTLB_Misses",
+        "L2_Transactions.FILL",
+    ):
+        assert must in data["selected"], must
+
+    # Strong agreement with the paper's 15 (allow a couple of misses:
+    # different substrate, same procedure).
+    assert len(data["agreed"]) >= 12
+
+    # Events that scale with instructions must never be selected.
+    for never in ("Br_Inst_Retired.All_Branches", "Uops_Retired.Any",
+                  "Uops_Issued.Any"):
+        assert never not in data["selected"], never
+
+    # The paper's negative finding: the uncore HITM event fails selection.
+    assert "Memory_Uncore_Retired.Other_core_L2_HITM" not in data["selected"]
+
+    # Both passes contribute events, as in the two-step procedure.
+    assert data["n_pass1"] >= 3
+    assert data["n_pass2"] >= 3

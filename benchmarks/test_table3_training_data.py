@@ -1,0 +1,31 @@
+"""Bench: Table 3 — composition of the training data."""
+
+from benchmarks.conftest import run_once
+
+
+def test_table3_training_data(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("table3"))
+    print("\n" + result.text)
+    s = result.data["summary"]
+
+    # Initial collection matches the paper exactly by construction.
+    assert s["part_a_initial"]["total"] == 675
+    assert s["part_a_initial"]["good"] == 324
+    assert s["part_a_initial"]["bad-fs"] == 216
+    assert s["part_a_initial"]["bad-ma"] == 135
+    assert s["part_b_initial"]["total"] == 271
+    assert s["part_b_initial"]["good"] == 171
+    assert s["part_b_initial"]["bad-ma"] == 100
+
+    # Screening keeps every bad-fs instance and most of everything else
+    # (paper: 653 + 227 = 880 remain of 946).
+    assert s["part_a"]["bad-fs"] == 216
+    assert 580 <= s["part_a"]["total"] <= 675
+    assert 180 <= s["part_b"]["total"] <= 271
+    assert 780 <= s["full"]["total"] <= 946
+
+    # Screening removed bad-ma from A and mostly good from B, as the paper
+    # describes (22 bad-ma; 41 good + 3 bad-ma).
+    assert result.data["removed_a"].get("good", 0) == 0
+    assert result.data["removed_a"].get("bad-ma", 0) > 0
+    assert result.data["removed_b"].get("good", 0) > 0

@@ -1,0 +1,33 @@
+"""Bench: Table 4 — stratified 10-fold cross-validation."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+
+
+def test_table4_confusion(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("table4"))
+    print("\n" + result.text)
+    data = result.data
+
+    # Paper: 875/880 = 99.4%.  Demand the same regime.
+    assert data["accuracy"] >= 0.985
+
+    m = np.array(data["matrix"])
+    classes = data["classes"]
+    i_good = classes.index("good")
+    i_fs = classes.index("bad-fs")
+    i_ma = classes.index("bad-ma")
+
+    # bad-fs is never confused with anything (216/216 in the paper).
+    assert m[i_fs, i_good] == 0
+    assert m[i_fs, i_ma] == 0
+
+    # good is never mistaken for bad-fs -> no false-positive pressure.
+    assert m[i_good, i_fs] == 0
+
+    # the only confusion allowed is the good <-> bad-ma boundary
+    errors = m.sum() - np.trace(m)
+    boundary = m[i_good, i_ma] + m[i_ma, i_good]
+    assert errors == boundary
+    assert errors <= 12

@@ -1,0 +1,28 @@
+"""Bench: Table 5 — classification of Phoenix and PARSEC programs."""
+
+from benchmarks.conftest import run_once
+
+
+def test_table5_suites(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("table5"))
+    print("\n" + result.text)
+    data = result.data
+
+    programs = data["programs"]
+    # The three abnormal programs must be called exactly as in the paper.
+    assert programs["linear_regression"]["overall"] == "bad-fs"
+    assert programs["streamcluster"]["overall"] == "bad-fs"
+    assert programs["matrix_multiply"]["overall"] == "bad-ma"
+
+    # Zero false positives at the program level: nothing else is bad-fs.
+    for name, entry in programs.items():
+        if name not in ("linear_regression", "streamcluster"):
+            assert entry["overall"] != "bad-fs", name
+
+    # Overall agreement with the paper's table (19 programs).
+    assert data["agreement"] >= 17
+
+    # histogram reproduces the paper's 35-good/1-bad-fs flicker.
+    htally = programs["histogram"]["tally"]
+    assert htally.get("good", 0) >= 33
+    assert htally.get("bad-fs", 0) <= 2

@@ -1,0 +1,25 @@
+"""Bench: Table 6 — linear_regression execution time + classification grid."""
+
+from benchmarks.conftest import run_once
+
+
+def test_table6_linreg(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("table6"))
+    print("\n" + result.text)
+    data = result.data
+
+    labels = data["labels"]
+    # every -O0 and -O1 cell is bad-fs (paper: 24/24)
+    o01 = [v for k, v in labels.items()
+           if "|-O0|" in k or "|-O1|" in k]
+    assert o01.count("bad-fs") >= 22
+
+    # every -O2 cell is NOT bad-fs (good, with at most a stray bad-ma)
+    o2 = [v for k, v in labels.items() if "|-O2|" in k]
+    assert all(v != "bad-fs" for v in o2)
+    assert o2.count("good") >= 10
+
+    tally = data["tally"]
+    assert tally["bad-fs"] >= 22            # paper: 24
+    assert tally["good"] >= 10              # paper: 11
+    assert tally["bad-ma"] <= 2             # paper: 1

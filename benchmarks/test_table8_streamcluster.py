@@ -1,0 +1,33 @@
+"""Bench: Table 8 — streamcluster execution time + classification grid."""
+
+from benchmarks.conftest import run_once
+
+
+def test_table8_streamcluster(benchmark, experiment):
+    result = run_once(benchmark, lambda: experiment("table8"))
+    print("\n" + result.text)
+    data = result.data
+
+    labels = data["labels"]
+    tally = data["tally"]
+
+    # paper: 15 bad-fs / 11 good / 10 bad-ma out of 36
+    assert 12 <= tally.get("bad-fs", 0) <= 18
+    assert 8 <= tally.get("good", 0) <= 14
+    assert 7 <= tally.get("bad-ma", 0) <= 12
+
+    # simsmall at -O2/-O3 is solidly bad-fs (T=4, 8)
+    for opt in ("-O2", "-O3"):
+        for t in (4, 8):
+            assert labels[f"simsmall|{opt}|{t}"] == "bad-fs"
+
+    # the native input reads as bad memory access, never as false sharing
+    native = [v for k, v in labels.items() if k.startswith("native|")]
+    assert native.count("bad-ma") >= 7
+    assert "bad-fs" not in native
+
+    # optimization level does NOT fix streamcluster (unlike
+    # linear_regression): bad-fs persists at -O2/-O3
+    o23_fs = sum(1 for k, v in labels.items()
+                 if ("|-O2|" in k or "|-O3|" in k) and v == "bad-fs")
+    assert o23_fs >= 8

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Detect false sharing in YOUR OWN code: writing a custom workload.
+
+The detector is trained on mini-programs and knows nothing about your
+application.  To analyze one, describe its memory behaviour as a
+:class:`Workload` that emits per-thread access traces — here, a worker pool
+whose per-worker statistics struct has a classic layout bug — then ask the
+detector for a verdict, and check what a one-line padding fix changes.
+"""
+
+import numpy as np
+
+from repro import FalseSharingDetector, Lab, Mode, RunConfig, Workload
+from repro.memory.allocator import BumpAllocator
+from repro.trace.access import ThreadTrace
+from repro.workloads.builders import with_sync
+try:
+    from examples.quickstart import compact_training
+except ImportError:  # running from inside examples/
+    from quickstart import compact_training
+
+
+class WorkerPoolStats(Workload):
+    """A job-processing pool: each worker streams jobs and bumps counters.
+
+    ``stats[worker] = {processed; errors}`` — a 16-byte struct per worker.
+    Four workers' structs fit one cache line: if the array is not padded,
+    every counter bump contends with three neighbours.
+
+    ``cfg.mode`` selects the layout: good = padded to a line per worker,
+    bad-fs = packed structs (the bug).  ``cfg.size`` is jobs per worker.
+    """
+
+    name = "worker_pool_stats"
+    kind = "mt"
+    modes = frozenset({Mode.GOOD, Mode.BAD_FS})
+    train_sizes = (20_000,)
+    description = "example custom workload with a stats-array layout bug"
+
+    def _generate(self, cfg: RunConfig):
+        alloc = BumpAllocator()
+        sync = alloc.alloc_line_aligned(64)
+        stride = 64 if cfg.mode is Mode.GOOD else 16
+        stats_base = alloc.alloc(stride * cfg.threads, align=64)
+        job_queue = alloc.alloc_array(8, cfg.size * cfg.threads, align=64)
+
+        threads = []
+        for wid in range(cfg.threads):
+            my_stats = stats_base + wid * stride
+            jobs = job_queue.addr(
+                np.arange(cfg.size) + wid * cfg.size)
+            n = cfg.size
+            # per job: read the job descriptor, bump `processed` (RMW),
+            # occasionally bump `errors`
+            err = (np.arange(n) % 37) == 0
+            counts = 3 + 2 * err.astype(np.int64)
+            total = int(counts.sum())
+            addrs = np.empty(total, np.int64)
+            writes = np.zeros(total, bool)
+            ends = np.cumsum(counts)
+            starts = ends - counts
+            addrs[starts] = jobs
+            addrs[starts + 1] = my_stats
+            addrs[starts + 2] = my_stats
+            writes[starts + 2] = True
+            es = starts[err]
+            addrs[es + 3] = my_stats + 8
+            addrs[es + 4] = my_stats + 8
+            writes[es + 4] = True
+            addrs, writes = with_sync(addrs, writes, sync, 4096)
+            threads.append(ThreadTrace(addrs, writes, instr_per_access=3.0))
+        return threads
+
+
+def main() -> None:
+    lab = Lab()
+    print("training the detector (compact plan)...")
+    detector = FalseSharingDetector(lab).fit(training=compact_training(lab))
+
+    pool = WorkerPoolStats()
+    for mode, label in [(Mode.BAD_FS, "packed stats[] (the bug)"),
+                        (Mode.GOOD, "line-padded stats[] (the fix)")]:
+        cfg = RunConfig(threads=8, mode=mode, size=20_000)
+        result = detector.classify(pool, cfg)
+        print(f"\n  layout: {label}")
+        print(f"    verdict: {result.label}")
+        print(f"    simulated time: {result.seconds * 1e3:.3f} ms")
+    lab.flush()
+
+    print("\nThe one-line fix (padding the struct to a cache line) removes "
+          "the\nfalse-sharing verdict and most of the run time — without "
+          "the detector\never seeing the source code, only event counts.")
+
+
+if __name__ == "__main__":
+    main()

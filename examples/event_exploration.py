@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Explore the PMU: perf-style counting and the Section 2.3 event selection.
+
+Shows (1) what the false-sharing signature looks like in raw normalized
+counts, (2) why single events are not enough on their own (the bad-ma
+confounder), and (3) the 2x-majority selection run on a candidate subset,
+including the erratic uncore-HITM event the paper expected to work and
+found useless.
+"""
+
+from repro import Lab, RunConfig, TABLE2_EVENTS, get_workload
+from repro.core.event_selection import select_events
+from repro.pmu.events import event_by_raw_key
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    lab = Lab()
+    pdot = get_workload("pdot")
+
+    print("=== normalized Table 2 counts for pdot (6 threads) ===")
+    vectors = {}
+    for mode in ("good", "bad-fs", "bad-ma"):
+        cfg = RunConfig(threads=6, mode=mode, size=196_608)
+        vectors[mode] = lab.measure(pdot, cfg, TABLE2_EVENTS)
+    rows = []
+    for i, event in enumerate(TABLE2_EVENTS[:15], start=1):
+        rows.append([i, event.name] + [
+            f"{vectors[m].normalized(event):.3e}"
+            for m in ("good", "bad-fs", "bad-ma")
+        ])
+    print(render_table(["#", "event", "good", "bad-fs", "bad-ma"], rows))
+    hitm = TABLE2_EVENTS[10]
+    print(f"\nevent 11 ({hitm.name}) separates bad-fs by "
+          f"{vectors['bad-fs'].normalized(hitm) / max(vectors['good'].normalized(hitm), 1e-9):.0f}x"
+          " — but events like L1D replacements rise in BOTH bad modes,"
+          "\nwhich is why the paper needs the three-way classifier, not a"
+          " single threshold.")
+
+    print("\n=== the Section 2.3 selection on a candidate subset ===")
+    candidates = [
+        TABLE2_EVENTS[10],                                  # Snoop HITM
+        TABLE2_EVENTS[13],                                  # L1D repl
+        TABLE2_EVENTS[12],                                  # DTLB misses
+        event_by_raw_key("BR_INST_RETIRED.ALL_BRANCHES"),   # no signal
+        event_by_raw_key("UOPS_RETIRED.ANY"),               # no signal
+        event_by_raw_key("MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM"),  # erratic
+    ]
+    sel = select_events(
+        lab,
+        candidates=candidates,
+        mt_programs=["psums", "pdot"],
+        ma_programs=["pdot", "seq_read"],
+    )
+    for e in candidates:
+        status = ("pass 1 (good vs bad-fs)" if e in sel.pass1 else
+                  "pass 2 (good vs bad-ma)" if e in sel.pass2 else
+                  "REJECTED")
+        print(f"  {e.name:45s} -> {status}")
+    print("\nNote the rejection of Memory_Uncore_Retired.Other_core_L2_HITM:"
+          "\nits counts are dominated by unrelated load traffic (a Westmere"
+          "\nerratum), so its good/bad ratio never clears 2x — the paper's"
+          "\nSection 2.3 reports exactly this surprise.")
+    lab.flush()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Beyond the paper: localize WHEN and WHERE false sharing happens.
+
+The published method gives one verdict per run.  This example exercises the
+two extensions this library adds on the same substrate (both named by the
+paper as future work / complementary):
+
+1. time-sliced detection — a program that is healthy for most of its run
+   and falsely shares during one phase gets per-slice verdicts that pin the
+   phase down;
+2. the advisor — for a falsely-sharing run, name the contended cache lines,
+   the threads fighting over them, and estimate what padding would buy.
+"""
+
+from repro import FalseSharingDetector, Lab, RunConfig, get_workload
+from repro.core.advisor import FalseSharingAdvisor
+from repro.core.slicing import SlicedDetector, phased_program
+
+try:
+    from examples.quickstart import compact_training
+except ImportError:  # running from inside examples/
+    from quickstart import compact_training
+
+
+def main() -> None:
+    lab = Lab()
+    print("training (compact plan, cached)...")
+    detector = FalseSharingDetector(lab).fit(training=compact_training(lab))
+
+    # --- 1. a three-phase run: stream, falsely share, stream -------------
+    pdot = get_workload("pdot")
+    good = pdot.trace(RunConfig(threads=6, mode="good", size=98_304))
+    bad = pdot.trace(RunConfig(threads=6, mode="bad-fs", size=98_304))
+    program = phased_program([good, bad, good], name="stream-share-stream")
+
+    print("\n=== time-sliced detection of a phased run ===")
+    diag = SlicedDetector(detector, n_slices=9).diagnose_trace(program)
+    print(diag.render())
+    print("phase structure:", diag.phases())
+
+    # --- 2. the advisor on the falsely-sharing phase ----------------------
+    print("\n=== advisor: which lines, which threads, what fix ===")
+    advisor = FalseSharingAdvisor(detector)
+    report = advisor.diagnose(pdot, RunConfig(threads=6, mode="bad-fs",
+                                              size=196_608))
+    print(report.render())
+    lab.flush()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: train the detector and classify Figure 1's dot product.
+
+This uses a compact training plan (a subset of the paper's Section 3.1
+collection) so it finishes in under a minute; run with ``--full`` for the
+complete 880-instance pipeline (a few minutes on first run, cached after).
+
+Usage::
+
+    python examples/quickstart.py [--full]
+"""
+
+import argparse
+import time
+
+from repro import FalseSharingDetector, Lab, Mode, RunConfig, get_workload
+from repro.core.training import (
+    PlanRow,
+    ScreeningReport,
+    TrainingData,
+    collect_plan,
+    collect_training_data,
+)
+
+
+def compact_training(lab: Lab) -> TrainingData:
+    """A small but representative slice of the paper's training plan."""
+    plan_a = [
+        PlanRow("psums", Mode.GOOD, (2_000, 6_000), (3, 6, 12), ("random",), 2),
+        PlanRow("psums", Mode.BAD_FS, (2_000, 6_000), (3, 6, 12), ("random",), 2),
+        PlanRow("false1", Mode.GOOD, (2_000,), (3, 6, 12), ("random",), 2),
+        PlanRow("false1", Mode.BAD_FS, (2_000,), (3, 6, 12), ("random",), 2),
+        PlanRow("count", Mode.GOOD, (98_304,), (3, 6, 12), ("random",), 2),
+        PlanRow("count", Mode.BAD_FS, (98_304,), (3, 6, 12), ("random",), 2),
+        PlanRow("psumv", Mode.BAD_MA, (98_304,), (3, 6, 12),
+                ("random", "stride16"), 1),
+        PlanRow("psumv", Mode.GOOD, (98_304,), (3, 6, 12), ("random",), 2),
+    ]
+    plan_b = [
+        PlanRow("seq_read", Mode.GOOD, (65_536, 131_072), (1,), ("random",), 3),
+        PlanRow("seq_read", Mode.BAD_MA, (65_536, 131_072), (1,),
+                ("random", "stride8"), 2),
+        PlanRow("seq_rmw", Mode.BAD_MA, (131_072,), (1,), ("random",), 2),
+        PlanRow("seq_rmw", Mode.GOOD, (131_072,), (1,), ("random",), 2),
+    ]
+    a = collect_plan(lab, plan_a, "A")
+    b = collect_plan(lab, plan_b, "B")
+    return TrainingData(a, b, a, b, ScreeningReport(a, [], {}),
+                        ScreeningReport(b, [], {}))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the paper's full 880-instance collection")
+    args = parser.parse_args()
+
+    lab = Lab()  # a simulated 12-core Westmere DP with a scaled hierarchy
+    print("collecting training data from the mini-programs...")
+    t0 = time.time()
+    training = (collect_training_data(lab) if args.full
+                else compact_training(lab))
+    detector = FalseSharingDetector(lab).fit(training=training)
+    lab.flush()
+    print(f"trained on {len(training.dataset)} instances "
+          f"in {time.time() - t0:.0f}s\n")
+
+    print("The learned decision tree (paper Figure 2):")
+    print(detector.render_tree())
+    print(f"events used (Table 2 numbering): {detector.tree_event_numbers()}\n")
+
+    # Classify the three dot-product variants from the paper's Figure 1.
+    pdot = get_workload("pdot")
+    print("classifying Figure 1's parallel dot product (6 threads):")
+    for mode, expectation in [
+        (Mode.GOOD, "thread-private accumulators"),
+        (Mode.BAD_FS, "psum[myid] += ... on a shared cache line"),
+        (Mode.BAD_MA, "strided vector access"),
+    ]:
+        cfg = RunConfig(threads=6, mode=mode, size=196_608)
+        result = detector.classify(pdot, cfg)
+        verdict = "CORRECT" if result.label == mode.value else "WRONG"
+        print(f"  Method ({expectation:45s}) -> {result.label:7s} [{verdict}]"
+              f"  simulated time {result.seconds * 1e3:7.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""Shadow-memory cache-contention detection (Zhao et al., VEE'11 [33]).
+
+This is the paper's verification oracle.  It tracks, per cache line, which
+threads hold a copy and which 4-byte slots of the line each thread has
+touched during its holding period.  A write invalidates other holders; when
+an invalidated thread touches the line again it suffers a *contention miss*,
+classified as **false sharing** when the invalidating writes touched only
+slots disjoint from the victim's, and **true sharing** otherwise.
+
+The reported metric is the paper's: ``false sharing rate = false-sharing
+misses / instructions executed``, with rate > 1e-3 meaning false sharing is
+present.  Faithfully to [33], the tool refuses more than 8 threads and slows
+the monitored program down about 5x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import BaselineError
+from repro.trace.access import ProgramTrace
+from repro.trace.streams import DEFAULT_CHUNK, interleave
+
+#: [33]'s decision threshold on the false-sharing rate.
+FS_RATE_THRESHOLD = 1e-3
+
+#: [33]'s instrumentation cannot shadow more than 8 threads.
+MAX_THREADS = 8
+
+#: Reported slowdown of the dynamic-instrumentation approach.
+SLOWDOWN = 5.0
+
+
+@dataclass
+class ShadowReport:
+    """Outcome of one shadowed run.
+
+    ``per_line`` (when collected) maps cache-line index to its
+    ``(fs_misses, ts_misses)`` counts — line-level attribution from the
+    instrumentation-based tool, comparable against the sampling-based
+    c2c report.
+    """
+
+    fs_misses: int
+    ts_misses: int
+    cold_misses: int
+    instructions: int
+    nthreads: int
+    per_line: Dict[int, tuple] = None
+
+    def hottest_fs_lines(self, n: int = 8):
+        """Lines with the most false-sharing misses, hottest first."""
+        if not self.per_line:
+            return []
+        items = [(line, fs, ts) for line, (fs, ts) in self.per_line.items()
+                 if fs > 0]
+        items.sort(key=lambda x: x[1], reverse=True)
+        return items[:n]
+
+    @property
+    def fs_rate(self) -> float:
+        """False-sharing misses per instruction (the paper's rate)."""
+        if self.instructions <= 0:
+            raise BaselineError("no instructions executed")
+        return self.fs_misses / self.instructions
+
+    @property
+    def contention_rate(self) -> float:
+        if self.instructions <= 0:
+            raise BaselineError("no instructions executed")
+        return (self.fs_misses + self.ts_misses) / self.instructions
+
+    @property
+    def has_false_sharing(self) -> bool:
+        """[33]'s verdict: rate above 1e-3."""
+        return self.fs_rate > FS_RATE_THRESHOLD
+
+
+class ShadowMemoryDetector:
+    """Word-granular (4-byte slot) sharing analysis over a program trace."""
+
+    def __init__(self, max_threads: int = MAX_THREADS,
+                 track_lines: bool = False) -> None:
+        self.max_threads = max_threads
+        self.track_lines = track_lines
+
+    def run(
+        self, program: ProgramTrace, chunk: int = DEFAULT_CHUNK
+    ) -> ShadowReport:
+        nt = program.nthreads
+        if nt > self.max_threads:
+            raise BaselineError(
+                f"shadow tool handles at most {self.max_threads} threads; "
+                f"program has {nt} (same limitation as [33])"
+            )
+        merged = interleave(program, chunk=chunk)
+        cores = merged.core.tolist()
+        addrs = merged.addr.tolist()
+        writes = merged.is_write.tolist()
+
+        holders: Dict[int, int] = {}       # line -> bitmask of holding threads
+        tmasks: Dict[int, list] = {}       # line -> per-thread touched-slot mask
+        invalmask: Dict[int, list] = {}    # line -> per-thread invalidator slots
+        fs = ts = cold = 0
+        all_zero = [0] * nt
+        per_line: Dict[int, list] = {} if self.track_lines else None
+
+        for t, addr, w in zip(cores, addrs, writes):
+            line = addr >> 6
+            slot = 1 << ((addr >> 2) & 15)
+            bit = 1 << t
+            held = holders.get(line, 0)
+            masks = tmasks.get(line)
+            if masks is None:
+                masks = list(all_zero)
+                tmasks[line] = masks
+            if not held & bit:
+                # This thread does not hold the line: a miss.
+                inv = invalmask.get(line)
+                if inv is not None and inv[t]:
+                    # Invalidation-induced: false or true sharing?
+                    if inv[t] & (masks[t] | slot):
+                        ts += 1
+                        if per_line is not None:
+                            per_line.setdefault(line, [0, 0])[1] += 1
+                    else:
+                        fs += 1
+                        if per_line is not None:
+                            per_line.setdefault(line, [0, 0])[0] += 1
+                    inv[t] = 0
+                    masks[t] = 0  # new holding period
+                else:
+                    cold += 1
+                held |= bit
+            masks[t] |= slot
+            if w:
+                # Invalidate all other holders, recording what we wrote.
+                others = held & ~bit
+                if others:
+                    inv = invalmask.get(line)
+                    if inv is None:
+                        inv = list(all_zero)
+                        invalmask[line] = inv
+                    for u in range(nt):
+                        if others & (1 << u):
+                            inv[u] |= slot
+                    held = bit
+            holders[line] = held
+        return ShadowReport(
+            fs_misses=fs,
+            ts_misses=ts,
+            cold_misses=cold,
+            instructions=program.total_instructions,
+            nthreads=nt,
+            per_line=(None if per_line is None
+                      else {k: tuple(v) for k, v in per_line.items()}),
+        )
+
+
+def false_sharing_rate(
+    program: ProgramTrace, chunk: int = DEFAULT_CHUNK
+) -> float:
+    """One-shot convenience: the [33] false-sharing rate of a trace."""
+    return ShadowMemoryDetector().run(program, chunk=chunk).fs_rate

@@ -1,0 +1,258 @@
+"""Command-line tools.
+
+* ``repro-perf stat -e EV1,EV2 -- WORKLOAD [options]`` — perf(1)-style event
+  counting for any registered workload or suite program;
+* ``repro-train`` — collect training data, fit the J48 tree, print Table 3/4
+  style summaries and the tree;
+* ``repro-detect WORKLOAD [options]`` — classify a program run (the paper's
+  end-user workflow);
+* ``repro-experiment ID...`` — regenerate paper tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.lab import Lab
+from repro.core.detector import FalseSharingDetector
+from repro.errors import ReproError, WorkloadError
+from repro.pmu.events import TABLE2_EVENTS, event_by_name
+from repro.utils.tables import render_table
+from repro.workloads.base import RunConfig
+from repro.workloads.registry import all_workloads, get_workload
+
+
+def _resolve_target(name: str):
+    """A mini-program or a suite program, by name."""
+    try:
+        return get_workload(name), "mini"
+    except WorkloadError:
+        from repro.suites import get_program
+
+        return get_program(name), "suite"
+
+
+def _build_config(target, kind: str, args) -> object:
+    if kind == "mini":
+        return RunConfig(
+            threads=args.threads,
+            mode=args.mode,
+            size=args.size or target.train_sizes[0],
+            pattern=args.pattern,
+        )
+    from repro.suites.base import SuiteCase
+
+    opt = args.opt if args.opt.startswith("-") else f"-{args.opt}"
+    return SuiteCase(
+        input_set=args.input or target.inputs[0],
+        opt=opt,
+        threads=args.threads,
+    )
+
+
+def _add_run_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("workload", help="mini-program or suite program name")
+    p.add_argument("-t", "--threads", type=int, default=6)
+    p.add_argument("-m", "--mode", default="good",
+                   help="mini-programs: good | bad-fs | bad-ma")
+    p.add_argument("-n", "--size", type=int, default=0,
+                   help="problem size (mini-programs; 0 = default)")
+    p.add_argument("--pattern", default="random",
+                   help="bad-ma access pattern (random, strideN)")
+    p.add_argument("--input", default="",
+                   help="input set (suite programs, e.g. simsmall)")
+    p.add_argument("--opt", default="-O2",
+                   help="optimization level for suite programs; "
+                        "use --opt=-O2 or the dashless form O2")
+
+
+def perf_main(argv: Optional[Sequence[str]] = None) -> int:
+    """`perf stat`-style counting on the simulated machine."""
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description="Count hardware events for a workload run "
+                    "(simulated Westmere DP).",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    stat = sub.add_parser("stat", help="run a workload and print event counts")
+    _add_run_options(stat)
+    stat.add_argument("-e", "--events", default="",
+                      help="comma-separated event names (default: Table 2)")
+    stat.add_argument("--raw", action="store_true",
+                      help="print raw counts instead of normalized")
+    lst = sub.add_parser("list", help="list workloads and events")
+    args = parser.parse_args(argv)
+
+    if args.cmd == "list":
+        print("mini-programs:")
+        for w in all_workloads():
+            print(f"  {w.name:14s} [{w.kind}] modes="
+                  f"{sorted(m.value for m in w.modes)} - {w.description}")
+        from repro.suites import all_programs
+
+        print("suite programs:")
+        for p in all_programs():
+            print(f"  {p.name:18s} [{p.suite}] inputs={p.inputs}")
+        print("events: (Table 2)")
+        for e in TABLE2_EVENTS:
+            print(f"  {e.selector}  {e.name:40s} {e.description}")
+        return 0
+
+    try:
+        target, kind = _resolve_target(args.workload)
+        cfg = _build_config(target, kind, args)
+        if args.events:
+            events = [event_by_name(n.strip())
+                      for n in args.events.split(",") if n.strip()]
+        else:
+            events = list(TABLE2_EVENTS)
+        lab = Lab()
+        vec = lab.measure(target, cfg, events)
+        lab.flush()
+        rows = []
+        for e in events:
+            if args.raw:
+                rows.append([e.selector, e.name, f"{vec.count(e):.0f}"])
+            else:
+                rows.append([e.selector, e.name,
+                             f"{vec.normalized(e):.3e}"])
+        unit = "raw count" if args.raw else "count / instruction"
+        print(render_table(["selector", "event", unit], rows,
+                           title=f"{args.workload}: {cfg.run_id()}"))
+        print(f"instructions: {vec.instructions:.0f}   "
+              f"simulated time: {vec.meta.get('seconds', 0.0) * 1e3:.3f} ms   "
+              f"counting overhead: {100 * vec.overhead:.2f}%")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def train_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Collect training data and fit the classifier; print the summary."""
+    parser = argparse.ArgumentParser(
+        prog="repro-train",
+        description="Collect mini-program training data and train the "
+                    "J48 detector.",
+    )
+    parser.add_argument("--no-screen", action="store_true",
+                        help="skip the instance-screening step")
+    parser.add_argument("--cv", type=int, default=10,
+                        help="cross-validation folds (0 disables)")
+    args = parser.parse_args(argv)
+    try:
+        from repro.core.training import collect_training_data
+
+        lab = Lab()
+        td = collect_training_data(lab, screen=not args.no_screen)
+        lab.flush()
+        s = td.summary()
+        rows = [[part, c["good"], c["bad-fs"], c["bad-ma"], c["total"]]
+                for part, c in s.items()]
+        print(render_table(["part", "good", "bad-fs", "bad-ma", "total"],
+                           rows, title="Training data"))
+        det = FalseSharingDetector(lab)
+        det.fit(training=td)
+        print("\nLearned tree:")
+        print(det.render_tree())
+        print(f"\nevents used (Table 2 #): {det.tree_event_numbers()}")
+        if args.cv:
+            cm = det.cross_validate(k=args.cv)
+            print(cm.render(f"\n{args.cv}-fold CV"))
+            print(f"accuracy: {cm.correct}/{cm.total} = "
+                  f"{100 * cm.accuracy:.2f}%")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def detect_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Train (cached) and classify one program run."""
+    parser = argparse.ArgumentParser(
+        prog="repro-detect",
+        description="Detect false sharing in a workload run.",
+    )
+    _add_run_options(parser)
+    parser.add_argument("--slices", type=int, default=0,
+                        help="classify N time slices instead of the whole "
+                             "run (Section 6 future work)")
+    parser.add_argument("--advise", action="store_true",
+                        help="on a bad-fs verdict, name the contended lines "
+                             "and estimate the padding fix")
+    args = parser.parse_args(argv)
+    try:
+        from repro.experiments.context import default_context
+
+        ctx = default_context()
+        target, kind = _resolve_target(args.workload)
+        cfg = _build_config(target, kind, args)
+        if args.slices:
+            from repro.core.slicing import SlicedDetector
+
+            diag = SlicedDetector(ctx.detector,
+                                  n_slices=args.slices).diagnose(target, cfg)
+            print(diag.render())
+            ctx.lab.flush()
+            return 0 if diag.overall == "good" else 1
+        if args.advise:
+            from repro.core.advisor import FalseSharingAdvisor
+
+            report = FalseSharingAdvisor(ctx.detector).diagnose(target, cfg)
+            print(report.render())
+            ctx.lab.flush()
+            return 0 if report.label == "good" else 1
+        vec = ctx.lab.measure(target, cfg, TABLE2_EVENTS)
+        label = ctx.detector.classify_vector(vec)
+        ctx.lab.flush()
+        print(f"{args.workload} [{cfg.run_id()}] -> {label}")
+        if label == "bad-fs":
+            print("false sharing detected: threads are writing distinct "
+                  "data on shared cache lines")
+        elif label == "bad-ma":
+            print("no false sharing, but the memory-access pattern is "
+                  "cache-hostile")
+        else:
+            print("no memory-system problem detected")
+        return 0 if label == "good" else 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def experiment_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Regenerate paper tables/figures by experiment id."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Re-run the paper's experiments "
+                    "(tables 1-11, figure 2, ablations).",
+    )
+    parser.add_argument("ids", nargs="*",
+                        help="experiment ids (default: list them)")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    args = parser.parse_args(argv)
+    from repro.experiments import experiment_ids, run_experiment
+
+    ids: List[str] = args.ids
+    if args.all:
+        ids = experiment_ids()
+    if not ids:
+        print("available experiments:")
+        for eid in experiment_ids():
+            print(f"  {eid}")
+        return 0
+    try:
+        for eid in ids:
+            result = run_experiment(eid)
+            print(result)
+            print()
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(experiment_main())

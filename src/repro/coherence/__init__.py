@@ -1,0 +1,34 @@
+"""MESI multicore cache simulator: the substrate replacing real hardware."""
+
+from repro.coherence.cache import SetAssociativeCache
+from repro.coherence.machine import MachineSpec, MulticoreMachine, SimulationResult
+from repro.coherence.protocol import (
+    EXCLUSIVE,
+    INVALID,
+    MODIFIED,
+    SHARED,
+    fill_state,
+    holder_reaction,
+    snoop_response_kind,
+    state_name,
+    write_upgrade,
+)
+from repro.coherence.timing import DEFAULT_LATENCY, LatencyModel
+
+__all__ = [
+    "SetAssociativeCache",
+    "MachineSpec",
+    "MulticoreMachine",
+    "SimulationResult",
+    "INVALID",
+    "SHARED",
+    "EXCLUSIVE",
+    "MODIFIED",
+    "fill_state",
+    "holder_reaction",
+    "snoop_response_kind",
+    "state_name",
+    "write_upgrade",
+    "DEFAULT_LATENCY",
+    "LatencyModel",
+]

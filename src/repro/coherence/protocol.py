@@ -1,0 +1,87 @@
+"""MESI coherence protocol: states, names, and transition rules.
+
+The simulator encodes states as small ints for speed; this module is the
+single place that defines them and the legal transitions, so tests can check
+protocol invariants independent of the machine loop.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+# State encoding, ordered by "strength" so max() over holders picks the
+# authoritative responder during a snoop.
+INVALID = 0
+SHARED = 1
+EXCLUSIVE = 2
+MODIFIED = 3
+
+STATE_NAMES = {INVALID: "I", SHARED: "S", EXCLUSIVE: "E", MODIFIED: "M"}
+
+
+def state_name(state: int) -> str:
+    """Single-letter MESI name for an encoded state."""
+    try:
+        return STATE_NAMES[state]
+    except KeyError:
+        raise ValueError(f"not a MESI state: {state!r}") from None
+
+
+def fill_state(is_write: bool, had_other_holder: bool) -> int:
+    """State a line enters the requester's cache with after a miss.
+
+    Writes always install Modified (write-allocate, RFO).  Reads install
+    Shared if any other core held the line (it stays/becomes shared), else
+    Exclusive — the E optimization that lets a later local write upgrade
+    silently.
+    """
+    if is_write:
+        return MODIFIED
+    return SHARED if had_other_holder else EXCLUSIVE
+
+
+def holder_reaction(holder_state: int, requester_writes: bool) -> Tuple[int, bool]:
+    """What happens to a remote holder when it is snooped.
+
+    Returns ``(new_state, writeback)``.  A write request (RFO) invalidates
+    every holder; a read downgrades M/E to S (M writes its dirty data back).
+    """
+    if holder_state == INVALID:
+        return INVALID, False
+    if requester_writes:
+        return INVALID, holder_state == MODIFIED
+    if holder_state == MODIFIED:
+        return SHARED, True
+    if holder_state == EXCLUSIVE:
+        return SHARED, False
+    return SHARED, False
+
+
+def write_upgrade(state: int) -> Tuple[int, bool]:
+    """Local write to a line already cached: ``(new_state, needs_rfo)``.
+
+    E upgrades to M silently; S must broadcast an RFO (the paper's event 2,
+    ``L2_Write.RFO."S" state``); M stays M.
+    """
+    if state == MODIFIED:
+        return MODIFIED, False
+    if state == EXCLUSIVE:
+        return MODIFIED, False
+    if state == SHARED:
+        return MODIFIED, True
+    raise ValueError("cannot write-upgrade an invalid line")
+
+
+def snoop_response_kind(best_holder_state: int) -> str:
+    """Snoop-response bucket for the strongest remote holder state.
+
+    Maps to Table 2 events 9-11: ``hit`` (S), ``hite`` (E), ``hitm`` (M),
+    or ``miss`` when no core held the line.
+    """
+    if best_holder_state == MODIFIED:
+        return "hitm"
+    if best_holder_state == EXCLUSIVE:
+        return "hite"
+    if best_holder_state == SHARED:
+        return "hit"
+    return "miss"

@@ -1,0 +1,155 @@
+"""Event selection (paper Section 2.3): the 2x-ratio, two-pass procedure.
+
+Starting from the candidate catalog, pass 1 keeps events whose normalized
+counts differ by at least 2x between good and bad-fs runs for a majority of
+the multi-threaded mini-programs; pass 2 repeats the test on the remaining
+candidates with good vs bad-ma runs.  ``Instructions_Retired`` is not a
+candidate — it is appended afterwards as the normalizer, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lab import Lab
+from repro.pmu.events import (
+    CANDIDATE_EVENTS,
+    NORMALIZER,
+    TABLE2_EVENTS,
+    Event,
+)
+from repro.utils.stats import ratio
+from repro.workloads.base import Mode, RunConfig
+from repro.workloads.registry import get_workload
+
+#: Thread counts used during selection runs ("e.g., 3, 6, 9, 12 on a 12-core
+#: system" — Section 2.3).
+SELECTION_THREADS = (3, 6, 9, 12)
+
+#: The paper's heuristic: minimum count ratio that counts as "significant".
+MIN_RATIO = 2.0
+
+
+@dataclass
+class EventVote:
+    """Per-(event, program) outcome: the median good-vs-bad count ratio."""
+
+    event: str
+    program: str
+    median_ratio: float
+    significant: bool
+
+
+@dataclass
+class SelectionResult:
+    """Everything the selection produced, for reporting and tests."""
+
+    pass1: List[Event]
+    pass2: List[Event]
+    votes: List[EventVote] = field(default_factory=list)
+
+    @property
+    def selected(self) -> List[Event]:
+        return self.pass1 + self.pass2
+
+    @property
+    def selected_names(self) -> List[str]:
+        return [e.name for e in self.selected]
+
+    def with_normalizer(self) -> List[Event]:
+        """The full measurement set: selected events + Instructions_Retired."""
+        return self.selected + [NORMALIZER]
+
+    def table2_comparison(self) -> Dict[str, List[str]]:
+        """How the outcome compares with the paper's Table 2."""
+        ours = set(self.selected_names)
+        paper = {e.name for e in TABLE2_EVENTS if e.name != NORMALIZER.name}
+        return {
+            "agreed": sorted(ours & paper),
+            "missed": sorted(paper - ours),
+            "extra": sorted(ours - paper),
+        }
+
+
+def _median_ratio(
+    lab: Lab,
+    event: Event,
+    program: str,
+    bad_mode: Mode,
+    threads: Sequence[int],
+    size: int,
+) -> float:
+    """Median |ratio| of normalized counts between good and bad runs."""
+    workload = get_workload(program)
+    ratios = []
+    for t in threads:
+        good_cfg = RunConfig(threads=t, mode=Mode.GOOD, size=size)
+        bad_cfg = RunConfig(threads=t, mode=bad_mode, size=size)
+        gv = lab.measure(workload, good_cfg, [event, NORMALIZER])
+        bv = lab.measure(workload, bad_cfg, [event, NORMALIZER])
+        ratios.append(ratio(gv.normalized(event), bv.normalized(event)))
+    return float(np.median(ratios))
+
+
+def _vote_pass(
+    lab: Lab,
+    candidates: Sequence[Event],
+    programs: Sequence[str],
+    bad_mode: Mode,
+    votes: List[EventVote],
+) -> List[Event]:
+    selected = []
+    for event in candidates:
+        yes = 0
+        for program in programs:
+            workload = get_workload(program)
+            if bad_mode not in workload.modes:
+                continue
+            if workload.kind == "seq":
+                threads: Tuple[int, ...] = (1,)
+            else:
+                threads = tuple(SELECTION_THREADS)
+            size = workload.train_sizes[len(workload.train_sizes) // 2]
+            med = _median_ratio(lab, event, program, bad_mode, threads, size)
+            significant = med >= MIN_RATIO
+            votes.append(EventVote(event.name, program, med, significant))
+            yes += int(significant)
+        eligible = sum(
+            1 for p in programs if bad_mode in get_workload(p).modes
+        )
+        if eligible and yes > eligible / 2:
+            selected.append(event)
+    return selected
+
+
+def select_events(
+    lab: Optional[Lab] = None,
+    candidates: Optional[Sequence[Event]] = None,
+    mt_programs: Optional[Sequence[str]] = None,
+    ma_programs: Optional[Sequence[str]] = None,
+) -> SelectionResult:
+    """Run the two-pass Section 2.3 selection and return the outcome."""
+    lab = lab or Lab()
+    if candidates is None:
+        candidates = [e for e in CANDIDATE_EVENTS if e.name != NORMALIZER.name]
+    if mt_programs is None:
+        mt_programs = [
+            "psums", "padding", "false1", "psumv", "pdot", "count",
+            "pmatmult", "pmatcompare",
+        ]
+    if ma_programs is None:
+        # Programs that exercise bad-ma: the vector minis, pmatcompare, and
+        # the sequential set.
+        ma_programs = [
+            "psumv", "pdot", "count", "pmatcompare",
+            "seq_read", "seq_write", "seq_rmw", "seq_matmul",
+        ]
+    votes: List[EventVote] = []
+    pass1 = _vote_pass(lab, candidates, mt_programs, Mode.BAD_FS, votes)
+    chosen = {e.name for e in pass1}
+    remaining = [e for e in candidates if e.name not in chosen]
+    pass2 = _vote_pass(lab, remaining, ma_programs, Mode.BAD_MA, votes)
+    return SelectionResult(pass1=pass1, pass2=pass2, votes=votes)

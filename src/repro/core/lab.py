@@ -1,0 +1,205 @@
+"""The experimental context: machine + PMU + caching + interference model.
+
+A :class:`Lab` bundles everything one "testbed" needs: the machine spec, the
+latency model, the PMU sampler, and a simulation cache.  Because a repeated
+run (``cfg.rep``) performs the identical computation, simulation results are
+cached ignoring ``rep`` — only the measurement noise differs between repeats,
+exactly as on hardware.
+
+The interference model reproduces a mundane but load-bearing fact from the
+paper: some collected instances were garbage (Section 3.1 removed 44 of the
+271 sequential instances after manual examination).  On a real machine
+single-threaded runs share the socket with daemons and other users; we model
+that as an occasional multiplicative inflation of cache-traffic counters.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.coherence.machine import (
+    MachineSpec,
+    MulticoreMachine,
+    SCALED_WESTMERE,
+    SimulationResult,
+)
+from repro.coherence.timing import DEFAULT_LATENCY, LatencyModel
+from repro.pmu.counters import EventVector
+from repro.pmu.events import Event, TABLE2_EVENTS
+from repro.pmu.sampler import PMUSampler
+from repro.trace.streams import DEFAULT_CHUNK
+from repro.utils.rng import rng_for
+
+#: Raw counters inflated when background interference hits a run: everything
+#: that scales with cache traffic, not with the program's instructions.
+_INTERFERENCE_KEYS = (
+    "L1D.REPL",
+    "L2_TRANSACTIONS.FILL",
+    "L2_LINES_IN.S_STATE",
+    "L2_LINES_IN.E_STATE",
+    "L2_LINES_IN.ANY",
+    "L2_LINES_OUT.DEMAND_CLEAN",
+    "L2_LINES_OUT.DEMAND_DIRTY",
+    "L2_DATA_RQSTS.DEMAND.I_STATE",
+    "L2_RQSTS.LD_MISS",
+    "OFFCORE_REQUESTS.DEMAND.READ_DATA",
+    "OFFCORE_REQUESTS.ANY",
+    "DTLB_MISSES.ANY",
+    "LONGEST_LAT_CACHE.REFERENCE",
+    "LONGEST_LAT_CACHE.MISS",
+    "RESOURCE_STALLS.LOAD",
+)
+
+
+@dataclass
+class Lab:
+    """One simulated testbed with a run cache and reproducible noise."""
+
+    spec: MachineSpec = SCALED_WESTMERE
+    latency: LatencyModel = DEFAULT_LATENCY
+    seed: int = 0
+    noisy: bool = True
+    chunk: int = DEFAULT_CHUNK
+    prefetch: bool = True
+    #: "auto" uses a per-spec pickle under the user cache dir; None disables;
+    #: a path uses that file.  Simulations are deterministic, so caching
+    #: across processes is safe (delete the file after changing simulator or
+    #: workload code).
+    disk_cache: Union[str, Path, None] = "auto"
+    _cache: Dict[Tuple, SimulationResult] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        self._machine = MulticoreMachine(
+            self.spec, self.latency, prefetch=self.prefetch
+        )
+        self._sampler = PMUSampler(seed=self.seed, noisy=self.noisy)
+        self._dirty = 0
+        self._cache_path: Optional[Path] = None
+        if self.disk_cache == "auto":
+            base = Path(
+                os.environ.get("REPRO_CACHE_DIR",
+                               Path(tempfile.gettempdir()) / "repro-simcache")
+            )
+            from repro.versioning import SIM_VERSION
+
+            self._cache_path = (
+                base / f"{self.spec.name}-c{self.chunk}-{SIM_VERSION}.pkl"
+            )
+        elif self.disk_cache is not None:
+            self._cache_path = Path(self.disk_cache)
+        if self._cache_path is not None and self._cache_path.exists():
+            try:
+                with open(self._cache_path, "rb") as fh:
+                    self._cache.update(pickle.load(fh))
+            except Exception:
+                # A corrupt cache is not an error; just recompute.
+                self._cache.clear()
+
+    @property
+    def machine(self) -> MulticoreMachine:
+        """The underlying simulator (shared cache geometry and latencies)."""
+        return self._machine
+
+    @property
+    def sampler(self) -> PMUSampler:
+        """The PMU sampler used for measurements."""
+        return self._sampler
+
+    def flush(self) -> None:
+        """Persist the simulation cache to disk (no-op when disabled)."""
+        if self._cache_path is None:
+            return
+        self._cache_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._cache_path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(self._cache, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(self._cache_path)
+        self._dirty = 0
+
+    # ---------------------------------------------------------------- runs
+
+    def simulate(self, workload, cfg) -> SimulationResult:
+        """Run (or fetch from cache) the simulation for one configuration.
+
+        ``workload`` is anything with ``name``, ``trace(cfg)`` and
+        ``cache_key(cfg)`` — mini-programs and suite models alike.  The rep
+        index is excluded from the cache key: repeats re-measure, they do
+        not re-execute different computations.
+        """
+        key = (workload.name,) + tuple(workload.cache_key(cfg)) + (self.chunk,)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        result = self._machine.run(workload.trace(cfg), chunk=self.chunk)
+        self._cache[key] = result
+        self._dirty += 1
+        if self._dirty >= 25:
+            self.flush()
+        return result
+
+    def measure(
+        self,
+        workload,
+        cfg,
+        events: Optional[Sequence[Event]] = None,
+        interference_p: float = 0.0,
+    ) -> EventVector:
+        """Simulate + sample the PMU for one configuration.
+
+        ``interference_p`` is the probability this particular (run, rep)
+        was polluted by background activity.
+        """
+        events = list(events) if events is not None else list(TABLE2_EVENTS)
+        result = self.simulate(workload, cfg)
+        run_id = cfg.run_id()
+        if interference_p > 0.0:
+            result = self._maybe_interfere(
+                result, workload.name, run_id, interference_p
+            )
+        vec = self._sampler.measure(result, events, run_id=run_id)
+        vec.meta.update(result.meta)
+        vec.meta["seconds"] = result.seconds
+        vec.meta["run_id"] = run_id
+        return vec
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # ---------------------------------------------------------- interference
+
+    def _maybe_interfere(
+        self,
+        result: SimulationResult,
+        name: str,
+        run_id: str,
+        p: float,
+    ) -> SimulationResult:
+        rng = rng_for("interference", self.seed, name, run_id)
+        if rng.random() >= p:
+            return result
+        factor = float(rng.uniform(2.5, 5.0))
+        counts = dict(result.counts)
+        for key in _INTERFERENCE_KEYS:
+            if key in counts:
+                counts[key] *= factor
+        return SimulationResult(
+            counts=counts,
+            cycles_per_core=[c * (1 + 0.2 * (factor - 1))
+                             for c in result.cycles_per_core],
+            instructions_per_core=list(result.instructions_per_core),
+            seconds=result.seconds * (1 + 0.2 * (factor - 1)),
+            nthreads=result.nthreads,
+            spec=result.spec,
+            name=result.name,
+            meta={**result.meta, "interfered": True},
+        )

@@ -1,0 +1,154 @@
+"""Time-sliced detection (the paper's Section 6 future work).
+
+The published method classifies a whole execution; the authors name "short
+time slices" as the next step, so phase-structured programs — good for most
+of the run, falsely sharing during one stage — can be localized in time.
+This module implements it on the same substrate: the machine runs the trace
+in consecutive slices with warm caches, the PMU samples each slice, and the
+already-trained detector classifies each slice independently.
+
+The per-slice verdicts come with a summary that answers the practical
+questions: does the program falsely share at all, during which fraction of
+its run, and where are the phase boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.detector import FalseSharingDetector
+from repro.errors import ConfigError
+from repro.pmu.events import TABLE2_EVENTS
+from repro.trace.access import ProgramTrace
+from repro.utils.stats import majority, tally
+from repro.utils.tables import render_table
+
+
+@dataclass
+class SliceVerdict:
+    """Classification of one time slice."""
+
+    index: int
+    label: str
+    seconds: float
+    instructions: int
+    hitm_per_instr: float
+
+
+@dataclass
+class SlicedDiagnosis:
+    """Per-slice verdicts plus phase structure."""
+
+    verdicts: List[SliceVerdict]
+    n_slices: int
+
+    @property
+    def overall(self) -> str:
+        """Whole-run verdict: any falsely-sharing slice flags the program
+        (a phase problem is still a problem), otherwise majority."""
+        labels = [v.label for v in self.verdicts]
+        if "bad-fs" in labels:
+            return "bad-fs"
+        return majority(labels)
+
+    @property
+    def labels(self) -> List[str]:
+        return [v.label for v in self.verdicts]
+
+    def tally(self) -> Dict[str, int]:
+        return tally(self.labels)
+
+    def fs_time_fraction(self) -> float:
+        """Fraction of simulated run time spent in falsely-sharing slices."""
+        total = sum(v.seconds for v in self.verdicts)
+        if total <= 0:
+            return 0.0
+        fs = sum(v.seconds for v in self.verdicts if v.label == "bad-fs")
+        return fs / total
+
+    def phases(self) -> List[Tuple[str, int, int]]:
+        """Maximal runs of equal labels: ``(label, first, last)`` slices."""
+        out: List[Tuple[str, int, int]] = []
+        for v in self.verdicts:
+            if out and out[-1][0] == v.label:
+                out[-1] = (v.label, out[-1][1], v.index)
+            else:
+                out.append((v.label, v.index, v.index))
+        return out
+
+    def render(self) -> str:
+        rows = [
+            [v.index, v.label, f"{v.seconds * 1e3:.3f}ms",
+             v.instructions, f"{v.hitm_per_instr:.2e}"]
+            for v in self.verdicts
+        ]
+        text = render_table(
+            ["slice", "verdict", "time", "instructions", "HITM/instr"],
+            rows, title=f"Time-sliced diagnosis ({self.n_slices} slices)",
+        )
+        text += (f"\noverall: {self.overall}; falsely-sharing time fraction: "
+                 f"{100 * self.fs_time_fraction():.0f}%")
+        return text
+
+
+class SlicedDetector:
+    """Runs the trained detector on consecutive time slices of a program."""
+
+    def __init__(self, detector: FalseSharingDetector,
+                 n_slices: int = 8) -> None:
+        if n_slices < 1:
+            raise ConfigError("n_slices must be >= 1")
+        self.detector = detector
+        self.n_slices = n_slices
+
+    def diagnose_trace(self, program: ProgramTrace,
+                       run_id: str = "") -> SlicedDiagnosis:
+        """Slice a prepared trace and classify each slice."""
+        lab = self.detector.lab
+        machine = lab.machine
+        results = machine.run_sliced(program, self.n_slices, chunk=lab.chunk)
+        hitm = TABLE2_EVENTS[10]
+        verdicts = []
+        for i, res in enumerate(results):
+            if res.instructions <= 0:
+                continue
+            vec = lab.sampler.measure(
+                res, TABLE2_EVENTS, run_id=f"{run_id}#slice{i}"
+            )
+            verdicts.append(SliceVerdict(
+                index=i,
+                label=self.detector.classify_vector(vec),
+                seconds=res.seconds,
+                instructions=res.instructions,
+                hitm_per_instr=vec.normalized(hitm),
+            ))
+        return SlicedDiagnosis(verdicts, self.n_slices)
+
+    def diagnose(self, workload, cfg) -> SlicedDiagnosis:
+        """Generate the trace for ``(workload, cfg)`` and diagnose it."""
+        return self.diagnose_trace(workload.trace(cfg), run_id=cfg.run_id())
+
+
+def phased_program(
+    parts: Sequence[ProgramTrace], name: str = "phased"
+) -> ProgramTrace:
+    """Concatenate programs phase-by-phase (same thread count each).
+
+    Builds executions like "stream, then falsely share, then stream" so the
+    sliced detector has something to localize.
+    """
+    if not parts:
+        raise ConfigError("need at least one phase")
+    nt = parts[0].nthreads
+    for p in parts:
+        if p.nthreads != nt:
+            raise ConfigError("all phases must have the same thread count")
+    threads = []
+    for tid in range(nt):
+        t = parts[0].threads[tid]
+        for p in parts[1:]:
+            t = t.concat(p.threads[tid])
+        threads.append(t)
+    return ProgramTrace(threads, name=name,
+                        meta={"phases": len(parts), "workload": name})

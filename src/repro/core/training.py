@@ -1,0 +1,348 @@
+"""Training-data collection (paper Section 3.1) and screening.
+
+Part A runs the 8 multi-threaded mini-programs over problem sizes, thread
+counts and all supported modes; Part B runs the sequential mini-programs in
+good and bad-ma modes over sizes and access patterns.  Each run yields one
+labeled instance: the 15 Table-2 events normalized by instructions retired.
+
+The collection *plan* is declarative data (rows of sizes x threads x
+patterns x repeats) tuned so the initial instance counts land on the paper's
+Table 3 (Part A: 324 good / 216 bad-fs / 135 bad-ma; Part B: 171 good /
+100 bad-ma).  The paper then manually removed instances that were unsuitable
+as training data; :func:`screen_instances` implements that examination as an
+explicit rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lab import Lab
+from repro.errors import ConfigError
+from repro.ml.dataset import Dataset, Instance
+from repro.pmu.events import TABLE2_EVENTS, feature_events
+from repro.workloads.base import Mode, RunConfig
+from repro.workloads.registry import get_workload
+
+#: Feature columns: Table 2 events 1-15 (event 16 is the normalizer).
+FEATURES = feature_events()
+FEATURE_NAMES = [e.name for e in FEATURES]
+
+#: Events the screening rule looks at when judging bad-ma significance:
+#: the memory-traffic signals (6: L2 fill, 14: L1D repl, 13: DTLB misses).
+_SIGNAL_EVENTS = ("L2_Transactions.FILL", "L1D_Cache_Replacements",
+                  "DTLB_Misses")
+
+#: Background-interference probability for sequential (Part B) runs; a
+#: single-threaded run shares the machine with everything else, which is why
+#: the paper had to discard a quarter of its sequential "good" instances.
+PART_B_INTERFERENCE = 0.28
+
+
+@dataclass(frozen=True)
+class PlanRow:
+    """One block of the collection plan."""
+
+    workload: str
+    mode: Mode
+    sizes: Tuple[int, ...]
+    threads: Tuple[int, ...] = (1,)
+    patterns: Tuple[str, ...] = ("random",)
+    reps: int = 1
+
+    def configs(self) -> Iterator[RunConfig]:
+        for size in self.sizes:
+            for t in self.threads:
+                for pat in self.patterns:
+                    for rep in range(self.reps):
+                        yield RunConfig(
+                            threads=t,
+                            mode=self.mode,
+                            size=size,
+                            pattern=pat,
+                            rep=rep,
+                        )
+
+    def count(self) -> int:
+        return (
+            len(self.sizes) * len(self.threads) * len(self.patterns) * self.reps
+        )
+
+
+_THREADS = (3, 6, 9, 12)
+_SCALAR = ("psums", "padding", "false1")
+_VECTOR = ("psumv", "pdot", "count")
+_MATRIX = ("pmatmult", "pmatcompare")
+
+_SZ = {name: get_workload(name).train_sizes for name in
+       _SCALAR + _VECTOR + _MATRIX + ("seq_read", "seq_write", "seq_rmw",
+                                      "seq_matmul")}
+_VEC_EXTRA = {name: (get_workload(name).extra_size,) for name in _VECTOR}
+
+#: Part A: multi-threaded mini-programs.  Counts per mode:
+#:   good   3*(3*4*3) + 3*(4*4*3) + 2*(3*4*3) = 108+144+72 = 324
+#:   bad-fs 3*(3*4*2) + 3*(3*4*2) + 3*(1*4*2) + 2*(3*4*2) = 72+72+24+48 = 216
+#:   bad-ma 3*(3*4*3pat) + 1*(3*3thr*3pat) = 108+27 = 135
+#: The vector bad-ma rows deliberately include a size (16384) whose
+#: per-thread share fits L1 at higher thread counts: those runs show no
+#: significant difference from good and are what the screening step removes
+#: (the paper's 22 discarded Part A bad-ma instances).
+def make_part_a_plan(threads: Tuple[int, ...] = _THREADS) -> List[PlanRow]:
+    """The Part A plan for a machine offering the given thread counts.
+
+    The default matches the paper's 12-core testbed (3/6/9/12); porting to
+    another machine (Section 2.1 steps 2-6) substitutes its own ladder.
+    """
+    upper = tuple(threads[1:]) or threads
+    return (
+        [PlanRow(w, Mode.GOOD, _SZ[w], threads, ("random",), 3)
+         for w in _SCALAR]
+        + [PlanRow(w, Mode.GOOD, _SZ[w] + _VEC_EXTRA[w], threads,
+                   ("random",), 3) for w in _VECTOR]
+        + [PlanRow(w, Mode.GOOD, _SZ[w], threads, ("random",), 3)
+           for w in _MATRIX]
+        + [PlanRow(w, Mode.BAD_FS, _SZ[w], threads, ("random",), 2)
+           for w in _SCALAR + _VECTOR + _MATRIX]
+        + [PlanRow(w, Mode.BAD_FS, _VEC_EXTRA[w], threads, ("random",), 2)
+           for w in _VECTOR]
+        + [PlanRow(w, Mode.BAD_MA, (16_384,) + _SZ[w][:2], threads,
+                   ("random", "stride4", "stride16"), 1) for w in _VECTOR]
+        + [PlanRow("pmatcompare", Mode.BAD_MA, _SZ["pmatcompare"], upper,
+                   ("random", "stride4", "stride16"), 1)]
+    )
+
+
+PART_A_PLAN: List[PlanRow] = make_part_a_plan()
+
+_SEQ_ARRAY = ("seq_read", "seq_write", "seq_rmw")
+_SEQ_SIZES = (32_768, 49_152, 65_536, 131_072, 196_608, 262_144)
+_SEQ_PATTERNS = ("random", "stride2", "stride4", "stride8", "stride16")
+
+#: Part B: sequential mini-programs.  Counts per mode:
+#:   good   3*(6*9) + 1*(3*3) = 162+9 = 171
+#:   bad-ma 3*(6*5pat) + 3*3 + 1 = 90+9+1 = 100
+PART_B_PLAN: List[PlanRow] = (
+    [PlanRow(w, Mode.GOOD, _SEQ_SIZES, (1,), ("random",), 9)
+     for w in _SEQ_ARRAY]
+    + [PlanRow("seq_matmul", Mode.GOOD, _SZ["seq_matmul"], (1,), ("random",), 3)]
+    + [PlanRow(w, Mode.BAD_MA, _SEQ_SIZES, (1,), _SEQ_PATTERNS, 1)
+       for w in _SEQ_ARRAY]
+    + [PlanRow("seq_matmul", Mode.BAD_MA, _SZ["seq_matmul"], (1,),
+               ("random",), 3)]
+    + [PlanRow("seq_matmul", Mode.BAD_MA, (_SZ["seq_matmul"][-1],), (1,),
+               ("random",), 1)]
+)
+
+
+def plan_counts(plan: Sequence[PlanRow]) -> Dict[str, int]:
+    """Instances per mode a plan will produce."""
+    out: Dict[str, int] = {}
+    for row in plan:
+        out[row.mode.value] = out.get(row.mode.value, 0) + row.count()
+    return out
+
+
+# ----------------------------------------------------------------- collection
+
+
+def collect_plan(
+    lab: Lab,
+    plan: Sequence[PlanRow],
+    part: str,
+    interference_p: float = 0.0,
+) -> List[Instance]:
+    """Run every configuration in ``plan`` and return labeled instances."""
+    instances: List[Instance] = []
+    for row in plan:
+        workload = get_workload(row.workload)
+        for cfg in row.configs():
+            vec = lab.measure(workload, cfg, TABLE2_EVENTS,
+                              interference_p=interference_p)
+            instances.append(
+                Instance(
+                    features=vec.features(FEATURES),
+                    label=cfg.mode.value,
+                    meta={
+                        "part": part,
+                        "workload": row.workload,
+                        "threads": cfg.threads,
+                        "size": cfg.size,
+                        "pattern": cfg.pattern,
+                        "rep": cfg.rep,
+                        "seconds": vec.meta.get("seconds"),
+                    },
+                )
+            )
+    return instances
+
+
+# ------------------------------------------------------------------ screening
+
+
+@dataclass
+class ScreeningReport:
+    """What the examination kept and why it removed the rest."""
+
+    kept: List[Instance]
+    removed: List[Instance]
+    removed_by_mode: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_removed(self) -> int:
+        return len(self.removed)
+
+
+def _group_key(inst: Instance) -> Tuple:
+    return (
+        inst.meta.get("workload"),
+        inst.meta.get("threads"),
+        inst.meta.get("size"),
+    )
+
+
+def _signal(inst: Instance, idx: Dict[str, int]) -> np.ndarray:
+    return np.array([inst.features[idx[name]] for name in _SIGNAL_EVENTS])
+
+
+def screen_instances(
+    instances: Sequence[Instance],
+    min_badma_ratio: float = 4.0,
+    good_outlier_ratio: float = 2.2,
+) -> ScreeningReport:
+    """The paper's "manual examination" of collected instances, as a rule.
+
+    * a **bad-ma** instance is unsuitable when its memory-traffic signals are
+      not at least ``min_badma_ratio`` x the median good run of the same
+      (workload, threads, size) — the paper removed 22 such Part A instances
+      and 3 in Part B;
+    * a **good** instance is unsuitable when its signals are more than
+      ``good_outlier_ratio`` x the median of its sibling good runs
+      (interference outliers — 41 removed in Part B);
+    * **bad-fs** instances are never removed (the paper removed none).
+    """
+    if min_badma_ratio <= 1.0 or good_outlier_ratio <= 1.0:
+        raise ConfigError("screening ratios must be > 1")
+    idx = {name: FEATURE_NAMES.index(name) for name in _SIGNAL_EVENTS}
+
+    good_medians: Dict[Tuple, np.ndarray] = {}
+    by_group: Dict[Tuple, List[np.ndarray]] = {}
+    by_wl_threads: Dict[Tuple, List[np.ndarray]] = {}
+    for inst in instances:
+        if inst.label == Mode.GOOD.value:
+            sig = _signal(inst, idx)
+            by_group.setdefault(_group_key(inst), []).append(sig)
+            fallback = (inst.meta.get("workload"), inst.meta.get("threads"))
+            by_wl_threads.setdefault(fallback, []).append(sig)
+    for key, sigs in by_group.items():
+        good_medians[key] = np.median(np.vstack(sigs), axis=0)
+    # A bad-ma config without a same-size good sibling (the plan runs some
+    # bad-ma-only sizes) is judged against the same workload+threads good
+    # runs across sizes — the examiner's obvious reference.
+    fallback_medians = {
+        key: np.median(np.vstack(sigs), axis=0)
+        for key, sigs in by_wl_threads.items()
+    }
+
+    kept: List[Instance] = []
+    removed: List[Instance] = []
+    removed_by_mode: Dict[str, int] = {}
+    for inst in instances:
+        sig = _signal(inst, idx)
+        gm = good_medians.get(_group_key(inst))
+        if gm is None:
+            gm = fallback_medians.get(
+                (inst.meta.get("workload"), inst.meta.get("threads"))
+            )
+        drop = False
+        if inst.label == Mode.BAD_MA.value and gm is not None:
+            ratios = sig / np.maximum(gm, 1e-12)
+            drop = float(ratios.max()) < min_badma_ratio
+        elif inst.label == Mode.GOOD.value and gm is not None:
+            ratios = sig / np.maximum(gm, 1e-12)
+            drop = float(ratios.max()) > good_outlier_ratio
+        if drop:
+            removed.append(inst)
+            removed_by_mode[inst.label] = removed_by_mode.get(inst.label, 0) + 1
+        else:
+            kept.append(inst)
+    return ScreeningReport(kept, removed, removed_by_mode)
+
+
+# ------------------------------------------------------------------- assembly
+
+
+@dataclass
+class TrainingData:
+    """Both parts, before and after screening, plus the final dataset."""
+
+    part_a_initial: List[Instance]
+    part_b_initial: List[Instance]
+    part_a: List[Instance]
+    part_b: List[Instance]
+    screening_a: ScreeningReport
+    screening_b: ScreeningReport
+
+    @property
+    def dataset(self) -> Dataset:
+        return Dataset.from_instances(self.part_a + self.part_b, FEATURE_NAMES)
+
+    @property
+    def dataset_a(self) -> Dataset:
+        return Dataset.from_instances(self.part_a, FEATURE_NAMES)
+
+    @property
+    def dataset_b(self) -> Dataset:
+        return Dataset.from_instances(self.part_b, FEATURE_NAMES)
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Rows of the paper's Table 3."""
+
+        def tally(instances: Sequence[Instance]) -> Dict[str, int]:
+            out = {m.value: 0 for m in Mode}
+            for inst in instances:
+                out[inst.label] += 1
+            out["total"] = len(instances)
+            return out
+
+        return {
+            "part_a_initial": tally(self.part_a_initial),
+            "part_b_initial": tally(self.part_b_initial),
+            "part_a": tally(self.part_a),
+            "part_b": tally(self.part_b),
+            "full": tally(self.part_a + self.part_b),
+        }
+
+
+def collect_training_data(
+    lab: Optional[Lab] = None,
+    screen: bool = True,
+    threads: Optional[Tuple[int, ...]] = None,
+) -> TrainingData:
+    """Run the full Section 3.1 collection: Parts A and B plus screening.
+
+    ``threads`` overrides the multi-threaded ladder (defaults to the paper's
+    3/6/9/12; pass e.g. ``(2, 4, 6, 8)`` when porting to an 8-core machine).
+    """
+    lab = lab or Lab()
+    plan_a = PART_A_PLAN if threads is None else make_part_a_plan(threads)
+    part_a_initial = collect_plan(lab, plan_a, part="A")
+    part_b_initial = collect_plan(
+        lab, PART_B_PLAN, part="B", interference_p=PART_B_INTERFERENCE
+    )
+    if screen:
+        rep_a = screen_instances(part_a_initial)
+        rep_b = screen_instances(part_b_initial)
+    else:
+        rep_a = ScreeningReport(list(part_a_initial), [], {})
+        rep_b = ScreeningReport(list(part_b_initial), [], {})
+    return TrainingData(
+        part_a_initial=part_a_initial,
+        part_b_initial=part_b_initial,
+        part_a=rep_a.kept,
+        part_b=rep_b.kept,
+        screening_a=rep_a,
+        screening_b=rep_b,
+    )

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A run configuration is invalid (bad thread count, mode, size...)."""
+
+
+class TraceError(ReproError):
+    """A memory-access trace is malformed or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The cache/coherence simulation reached an inconsistent state."""
+
+
+class PMUError(ReproError):
+    """A performance-monitoring request cannot be satisfied."""
+
+
+class UnknownEventError(PMUError):
+    """An event name or (code, umask) pair is not in the catalog."""
+
+
+class DatasetError(ReproError):
+    """A machine-learning dataset is malformed (shape/label mismatch)."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before being trained."""
+
+
+class WorkloadError(ReproError):
+    """A workload was asked to run in an unsupported configuration."""
+
+
+class BaselineError(ReproError):
+    """A baseline tool (shadow-memory / SHERIFF model) cannot run."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or its pipeline failed."""

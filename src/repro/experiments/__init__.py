@@ -1,0 +1,27 @@
+"""Experiment registry: regenerate every table and figure of the paper."""
+
+from repro.experiments.base import (
+    ExperimentResult,
+    experiment,
+    experiment_ids,
+    experiment_title,
+    run_experiment,
+)
+from repro.experiments.context import (
+    ClassifiedProgram,
+    PipelineContext,
+    VerifiedProgram,
+    default_context,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "experiment",
+    "experiment_ids",
+    "experiment_title",
+    "run_experiment",
+    "ClassifiedProgram",
+    "PipelineContext",
+    "VerifiedProgram",
+    "default_context",
+]

@@ -1,0 +1,84 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each experiment is a function ``(PipelineContext) -> ExperimentResult``; the
+result carries both human-readable text (the regenerated table) and the raw
+numbers so tests and EXPERIMENTS.md generation can assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments.context import PipelineContext, default_context
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of regenerating one paper artifact."""
+
+    exp_id: str
+    title: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+    paper: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        header = f"== {self.exp_id}: {self.title} =="
+        parts = [header, self.text]
+        if self.paper:
+            parts.append(f"[paper] {self.paper}")
+        return "\n".join(parts)
+
+
+_REGISTRY: Dict[str, Callable[[PipelineContext], ExperimentResult]] = {}
+_TITLES: Dict[str, str] = {}
+
+
+def experiment(exp_id: str, title: str):
+    """Decorator registering an experiment under a stable id."""
+
+    def deco(fn: Callable[[PipelineContext], ExperimentResult]):
+        if exp_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {exp_id!r}")
+        _REGISTRY[exp_id] = fn
+        _TITLES[exp_id] = title
+        return fn
+
+    return deco
+
+
+def run_experiment(
+    exp_id: str, ctx: Optional[PipelineContext] = None
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. "table5", "figure2")."""
+    _ensure_loaded()
+    try:
+        fn = _REGISTRY[exp_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return fn(ctx or default_context())
+
+
+def experiment_ids() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def experiment_title(exp_id: str) -> str:
+    _ensure_loaded()
+    return _TITLES.get(exp_id, exp_id)
+
+
+def _ensure_loaded() -> None:
+    # Import the experiment modules for their registration side effects.
+    from repro.experiments import (  # noqa: F401
+        exp_ablations,
+        exp_detection,
+        exp_future,
+        exp_perf,
+        exp_training,
+    )

@@ -1,0 +1,142 @@
+"""Performance experiments: Table 1 (the motivating dot product) and the
+monitoring-overhead comparison from Section 4."""
+
+from __future__ import annotations
+
+from repro.baselines.overhead import overhead_report
+from repro.coherence.machine import MachineSpec
+from repro.core.lab import Lab
+from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.context import PipelineContext
+from repro.pmu.events import TABLE2_EVENTS
+from repro.utils.tables import render_grid
+from repro.workloads.base import Mode, RunConfig
+from repro.workloads.registry import get_workload
+
+#: Table 1's testbed: a 32-core Intel Xeon (not the 12-core training box).
+#: Caches follow the same 1:4 scaling as everywhere else.
+TABLE1_SPEC = MachineSpec(
+    cores=32,
+    sockets=4,
+    l1_kib=8,
+    l2_kib=64,
+    l3_mib=1,
+    tlb_entries=24,
+    name="xeon-32core-scaled-1to4",
+)
+
+TABLE1_THREADS = (1, 4, 8, 12, 16)
+TABLE1_SIZE = 393_216  # N, scaled from the paper's 1e8
+
+
+@experiment("table1", "Parallel dot product: good vs bad-fs vs bad-ma")
+def table1(ctx: PipelineContext) -> ExperimentResult:
+    lab = Lab(spec=TABLE1_SPEC)
+    pdot = get_workload("pdot")
+    methods = [
+        ("1: Good", Mode.GOOD),
+        ("2: Bad, false sharing", Mode.BAD_FS),
+        ("3: Bad, memory access", Mode.BAD_MA),
+    ]
+    cells = []
+    seconds = {}
+    for label, mode in methods:
+        row = []
+        for t in TABLE1_THREADS:
+            cfg = RunConfig(threads=t, mode=mode, size=TABLE1_SIZE,
+                            pattern="random")
+            res = lab.simulate(pdot, cfg)
+            seconds[(label, t)] = res.seconds
+            row.append(f"{res.seconds * 1e3:.2f}ms")
+        cells.append(row)
+    lab.flush()
+    text = render_grid(
+        [m[0] for m in methods],
+        [f"T={t}" for t in TABLE1_THREADS],
+        cells,
+        corner="Method",
+        title=f"pdot simulated execution time, N={TABLE1_SIZE} "
+              f"(32-core machine, scaled)",
+    )
+    from repro.utils.charts import series_chart
+
+    text += "\n" + series_chart(
+        [f"T={t}" for t in TABLE1_THREADS],
+        {m[0]: [seconds[(m[0], t)] * 1e3 for t in TABLE1_THREADS]
+         for m in methods},
+        title="simulated milliseconds by thread count "
+              "(flat rows = no parallel speedup)",
+        unit="ms",
+    )
+    good1 = seconds[("1: Good", 1)]
+    good16 = seconds[("1: Good", 16)]
+    fs4 = seconds[("2: Bad, false sharing", 4)]
+    ma1 = seconds[("3: Bad, memory access", 1)]
+    text += (
+        f"\nshape checks: good speedup T1->T16 = {good1 / good16:.1f}x "
+        f"(paper 11.9x); bad-fs T=4 vs good T=1 = {fs4 / good1:.2f}x "
+        f"(paper 1.8x, i.e. parallel slower than sequential); "
+        f"bad-ma T=1 vs good T=1 = {ma1 / good1:.1f}x (paper 5.7x)"
+    )
+    return ExperimentResult(
+        exp_id="table1",
+        title="Motivating dot product",
+        data={
+            "seconds": {f"{k[0]}|{k[1]}": v for k, v in seconds.items()},
+            "good_speedup": good1 / good16,
+            "fs_t4_vs_good_t1": fs4 / good1,
+            "ma_t1_vs_good_t1": ma1 / good1,
+        },
+        text=text,
+        paper="Table 1: good scales 44.1s -> 3.7s; bad-fs stays ~76-79s at "
+              "every thread count (worse than sequential); bad-ma is 5.7x "
+              "sequential and converges to the bad-fs times when parallel.",
+    )
+
+
+@experiment("overhead", "Monitoring overhead: counting vs SHERIFF vs shadow")
+def overhead(ctx: PipelineContext) -> ExperimentResult:
+    # Representative runs: one mini-program and two suite programs.
+    rows = []
+    reports = {}
+    samples = [
+        ("pdot good T=6", get_workload("pdot"),
+         RunConfig(threads=6, mode=Mode.GOOD, size=196_608)),
+    ]
+    from repro.suites import get_program
+    from repro.suites.base import SuiteCase
+
+    samples.append(("linear_regression 100MB -O2 T=6",
+                    get_program("linear_regression"),
+                    SuiteCase("100MB", "-O2", 6)))
+    samples.append(("streamcluster simlarge -O2 T=8",
+                    get_program("streamcluster"),
+                    SuiteCase("simlarge", "-O2", 8)))
+    for label, wl, cfg in samples:
+        res = ctx.lab.simulate(wl, cfg)
+        rep = overhead_report(res, TABLE2_EVENTS)
+        reports[label] = rep.as_dict()
+        rows.append([
+            label,
+            f"{res.seconds * 1e3:.3f}ms",
+            f"{100 * rep.counting_overhead:.2f}%",
+            f"{100 * (rep.sheriff_slowdown - 1):.0f}%",
+            f"{rep.shadow_slowdown:.1f}x",
+        ])
+    from repro.utils.tables import render_table
+
+    text = render_table(
+        ["Run", "Base time", "Ours (counting)", "SHERIFF [21]", "Shadow [33]"],
+        rows, title="Detection overhead by approach",
+    )
+    worst = max(r["counting_pct"] for r in reports.values())
+    text += (f"\nworst counting overhead: {worst:.2f}% "
+             f"(paper claims < 2%); SHERIFF ~20%, shadow-memory ~5x")
+    return ExperimentResult(
+        exp_id="overhead",
+        title="Monitoring overhead",
+        text=text,
+        data={"reports": reports, "worst_counting_pct": worst},
+        paper="Section 4: program slowdown under counting is at most 2%; "
+              "[21] reports ~20%, [33] ~5x.",
+    )

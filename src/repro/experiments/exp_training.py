@@ -1,0 +1,142 @@
+"""Experiments for the training half of the paper: Tables 2-4, Figure 2."""
+
+from __future__ import annotations
+
+from repro.core.event_selection import select_events
+from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.context import PipelineContext
+from repro.pmu.events import event_number
+from repro.utils.tables import render_table
+
+
+@experiment("table2", "Selected performance events (two-pass 2x heuristic)")
+def table2(ctx: PipelineContext) -> ExperimentResult:
+    sel = select_events(ctx.lab)
+    cmp = sel.table2_comparison()
+    rows = []
+    for e in sel.with_normalizer():
+        num = event_number(e)
+        rows.append([
+            num if num is not None else "-",
+            f"{e.code:02X}",
+            f"{e.umask:02X}",
+            e.name,
+            "pass1" if e in sel.pass1 else ("pass2" if e in sel.pass2 else "norm"),
+            "yes" if num is not None else "no",
+        ])
+    text = render_table(
+        ["Table2 #", "Code", "Umask", "Event", "Selected in", "In paper set"],
+        rows,
+        title="Events passing the 2x-majority selection (+ normalizer)",
+    )
+    text += (
+        f"\nagreed with paper: {len(cmp['agreed'])}/15"
+        f"  missed: {cmp['missed']}"
+        f"  extra beyond paper's 16: {len(cmp['extra'])}"
+    )
+    return ExperimentResult(
+        exp_id="table2",
+        title="Event selection",
+        text=text,
+        data={
+            "selected": sel.selected_names,
+            "agreed": cmp["agreed"],
+            "missed": cmp["missed"],
+            "extra": cmp["extra"],
+            "n_pass1": len(sel.pass1),
+            "n_pass2": len(sel.pass2),
+        },
+        paper="Table 2 lists 15 selected events + Instructions_Retired; "
+              "MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM notably absent.",
+    )
+
+
+@experiment("table3", "Training-data composition")
+def table3(ctx: PipelineContext) -> ExperimentResult:
+    td = ctx.training
+    s = td.summary()
+    rows = [
+        ["Part A (multi-threaded)", s["part_a"]["good"], s["part_a"]["bad-fs"],
+         s["part_a"]["bad-ma"], s["part_a"]["total"]],
+        ["Part B (sequential only)", s["part_b"]["good"], "-",
+         s["part_b"]["bad-ma"], s["part_b"]["total"]],
+        ["Full training data set", s["full"]["good"], s["full"]["bad-fs"],
+         s["full"]["bad-ma"], s["full"]["total"]],
+    ]
+    text = render_table(
+        ["", "good", "bad-fs", "bad-ma", "Total"], rows,
+        title="Summary of collected training data (after screening)",
+    )
+    text += (
+        f"\ninitial: A={s['part_a_initial']['total']} "
+        f"(paper 675), B={s['part_b_initial']['total']} (paper 271); "
+        f"screened out: A={td.screening_a.removed_by_mode} (paper: 22 bad-ma), "
+        f"B={td.screening_b.removed_by_mode} (paper: 41 good + 3 bad-ma)"
+    )
+    return ExperimentResult(
+        exp_id="table3",
+        title="Training data",
+        text=text,
+        data={
+            "summary": s,
+            "removed_a": td.screening_a.removed_by_mode,
+            "removed_b": td.screening_b.removed_by_mode,
+        },
+        paper="Table 3: A = 324/216/113 = 653, B = 130/-/97 = 227, "
+              "full set = 454/216/210 = 880.",
+    )
+
+
+@experiment("table4", "Stratified 10-fold cross-validation")
+def table4(ctx: PipelineContext) -> ExperimentResult:
+    cm = ctx.detector.cross_validate(k=10)
+    text = cm.render("Confusion matrix, stratified 10-fold CV")
+    text += (
+        f"\noverall success rate: {cm.correct}/{cm.total}"
+        f" = {100 * cm.accuracy:.1f}% (paper: 875/880 = 99.4%)"
+    )
+    return ExperimentResult(
+        exp_id="table4",
+        title="Cross-validation confusion matrix",
+        text=text,
+        data={
+            "accuracy": cm.accuracy,
+            "correct": cm.correct,
+            "total": cm.total,
+            "classes": cm.classes,
+            "matrix": cm.matrix.tolist(),
+        },
+        paper="Table 4: good 453/454 correct, bad-fs 216/216, bad-ma 206/210;"
+              " 875/880 = 99.4%.",
+    )
+
+
+@experiment("figure2", "The learned decision tree")
+def figure2(ctx: PipelineContext) -> ExperimentResult:
+    det = ctx.detector
+    clf = det.classifier
+    text = det.render_tree()
+    nums = det.tree_event_numbers()
+    text += (
+        f"\nleaves: {clf.n_leaves} (paper: 6), nodes: {clf.n_nodes} "
+        f"(paper: 11), events used (Table 2 #): {nums} (paper: 11, 6, 14, 13)"
+    )
+    root = clf.root_
+    root_event = clf.feature_names_[root.feature] if not root.is_leaf else None
+    text += f"\nroot test: {root_event} (paper: event 11, Snoop_Response.HIT'M')"
+    return ExperimentResult(
+        exp_id="figure2",
+        title="Decision tree",
+        text=text,
+        data={
+            "n_leaves": clf.n_leaves,
+            "n_nodes": clf.n_nodes,
+            "events_used": nums,
+            "root_event": root_event,
+            "root_threshold": None if root.is_leaf else root.threshold,
+            "rendering": det.render_tree(),
+        },
+        paper="Figure 2: 6 leaves / 11 nodes; event 11 (Snoop HITM) alone "
+              "decides bad-fs at the root; events 6, 14, 13 separate "
+              "good from bad-ma.",
+    )

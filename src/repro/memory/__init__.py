@@ -1,0 +1,27 @@
+"""Simulated memory layout: line/page geometry, allocation, TLB."""
+
+from repro.memory.allocator import BumpAllocator
+from repro.memory.layout import (
+    LINE_SIZE,
+    PAGE_SIZE,
+    ArrayLayout,
+    align_up,
+    line_of,
+    offset_in_line,
+    page_of,
+    shares_line,
+)
+from repro.memory.tlb import TLB
+
+__all__ = [
+    "LINE_SIZE",
+    "PAGE_SIZE",
+    "ArrayLayout",
+    "align_up",
+    "line_of",
+    "offset_in_line",
+    "page_of",
+    "shares_line",
+    "BumpAllocator",
+    "TLB",
+]

@@ -1,0 +1,70 @@
+"""A bump allocator for laying out workload data in a simulated address space.
+
+Workload generators use this to place arrays and per-thread variables.  The
+allocator decides whether per-thread slots are *packed* (several per cache
+line: the false-sharing layout) or *padded* (one per line: the fixed layout),
+which is exactly the knob the paper's mini-programs flip between "good" and
+"bad-fs" modes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memory.layout import LINE_SIZE, ArrayLayout, align_up
+
+
+class BumpAllocator:
+    """Monotonic allocator over a flat simulated address space.
+
+    Addresses start at ``base`` (default one page in, so address 0 is never
+    handed out) and only grow; there is no free().  That is all trace
+    generation needs, and it keeps layouts reproducible.
+    """
+
+    def __init__(self, base: int = 4096) -> None:
+        if base < 0:
+            raise ValueError("base must be >= 0")
+        self._cursor = base
+
+    @property
+    def cursor(self) -> int:
+        """Next unallocated byte address."""
+        return self._cursor
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Reserve ``nbytes`` and return the (aligned) base address."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        addr = align_up(self._cursor, align)
+        self._cursor = addr + nbytes
+        return addr
+
+    def alloc_array(
+        self, elem_size: int, length: int, align: int = 8, stride: int = 0
+    ) -> ArrayLayout:
+        """Reserve a contiguous array and return its layout."""
+        layout = ArrayLayout(0, elem_size, length, stride)
+        base = self.alloc(layout.size_bytes, align)
+        return ArrayLayout(base, elem_size, length, stride)
+
+    def alloc_line_aligned(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` starting on a fresh cache line."""
+        return self.alloc(nbytes, align=LINE_SIZE)
+
+    def per_thread_slots(
+        self, nthreads: int, elem_size: int = 8, padded: bool = False
+    ) -> List[int]:
+        """Allocate one slot per thread; ``padded`` puts each on its own line.
+
+        Packed slots (padded=False) are consecutive ``elem_size`` fields, so
+        with 8-byte fields up to 8 threads share one 64-byte line — the
+        canonical ``int psum[MAXTHREADS]`` false-sharing layout from the
+        paper's Figure 1.
+        """
+        if nthreads <= 0:
+            raise ValueError("nthreads must be positive")
+        if padded:
+            return [self.alloc_line_aligned(max(elem_size, LINE_SIZE)) for _ in range(nthreads)]
+        base = self.alloc(nthreads * elem_size, align=LINE_SIZE)
+        return [base + i * elem_size for i in range(nthreads)]

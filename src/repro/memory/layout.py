@@ -1,0 +1,108 @@
+"""Cache-line and page geometry, address arithmetic, array layouts.
+
+All traces in the library carry *byte* addresses so that both the PMU-level
+simulator (which works on 64-byte lines) and the Zhao-style shadow-memory
+baseline (which needs byte offsets within a line to tell false sharing from
+true sharing) can consume the same stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Cache-line size used throughout: Westmere DP, like every modern x86, uses
+#: 64-byte lines.  streamcluster's famous bug assumes 32-byte lines, which is
+#: why its padding does not work here — the suite model relies on this.
+LINE_SIZE = 64
+PAGE_SIZE = 4096
+
+LINE_SHIFT = 6
+PAGE_SHIFT = 12
+
+assert (1 << LINE_SHIFT) == LINE_SIZE
+assert (1 << PAGE_SHIFT) == PAGE_SIZE
+
+
+def line_of(addr):
+    """Cache-line index for a byte address (scalar or ndarray)."""
+    return addr >> LINE_SHIFT
+
+
+def page_of(addr):
+    """Page index for a byte address (scalar or ndarray)."""
+    return addr >> PAGE_SHIFT
+
+
+def offset_in_line(addr):
+    """Byte offset of an address within its cache line."""
+    return addr & (LINE_SIZE - 1)
+
+
+def align_up(addr: int, align: int) -> int:
+    """Round ``addr`` up to the next multiple of ``align`` (a power of two)."""
+    if align <= 0 or align & (align - 1):
+        raise ValueError(f"alignment must be a positive power of two, got {align}")
+    return (addr + align - 1) & ~(align - 1)
+
+
+@dataclass(frozen=True)
+class ArrayLayout:
+    """A contiguous array of fixed-size elements at a base byte address.
+
+    ``stride`` defaults to ``elem_size`` (packed); a larger stride models
+    padded layouts (e.g. one element per cache line to avoid false sharing).
+    """
+
+    base: int
+    elem_size: int
+    length: int
+    stride: int = 0  # 0 means "use elem_size"
+
+    def __post_init__(self) -> None:
+        if self.elem_size <= 0 or self.length < 0 or self.base < 0:
+            raise ValueError("ArrayLayout requires base>=0, elem_size>0, length>=0")
+        if self.stride and self.stride < self.elem_size:
+            raise ValueError("stride must be >= elem_size")
+
+    @property
+    def effective_stride(self) -> int:
+        return self.stride or self.elem_size
+
+    @property
+    def size_bytes(self) -> int:
+        if self.length == 0:
+            return 0
+        return (self.length - 1) * self.effective_stride + self.elem_size
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    def addr(self, index):
+        """Byte address of element ``index`` (scalar or ndarray of indices)."""
+        if isinstance(index, np.ndarray):
+            if ((index < 0) | (index >= self.length)).any():
+                raise IndexError("ArrayLayout index out of range")
+            return self.base + index.astype(np.int64) * self.effective_stride
+        if not 0 <= index < self.length:
+            raise IndexError(f"ArrayLayout index {index} out of range [0,{self.length})")
+        return self.base + index * self.effective_stride
+
+    def addrs(self) -> np.ndarray:
+        """Byte addresses of all elements, in index order."""
+        return self.base + np.arange(self.length, dtype=np.int64) * self.effective_stride
+
+    def lines_spanned(self) -> int:
+        """Number of distinct cache lines the array touches."""
+        if self.length == 0:
+            return 0
+        first = line_of(self.base)
+        last = line_of(self.end - 1)
+        return int(last - first + 1)
+
+
+def shares_line(addr_a: int, addr_b: int) -> bool:
+    """True when two byte addresses fall on the same cache line."""
+    return line_of(addr_a) == line_of(addr_b)

@@ -1,0 +1,38 @@
+"""Machine learning: datasets, the C4.5/J48 tree, validation, baselines."""
+
+from repro.ml.arff import dataset_from_arff, dataset_to_arff, load_arff, save_arff
+from repro.ml.baselines_ml import ALL_BASELINE_CLASSIFIERS, KNN, GaussianNB, OneR, ZeroR
+from repro.ml.c45 import C45Classifier, entropy
+from repro.ml.dataset import Dataset, Instance
+from repro.ml.persistence import (
+    classifier_from_dict,
+    classifier_to_dict,
+    load_classifier,
+    save_classifier,
+)
+from repro.ml.tree_model import TreeNode
+from repro.ml.validation import ConfusionMatrix, cross_validate, holdout_score
+
+__all__ = [
+    "dataset_from_arff",
+    "dataset_to_arff",
+    "load_arff",
+    "save_arff",
+    "classifier_from_dict",
+    "classifier_to_dict",
+    "load_classifier",
+    "save_classifier",
+    "ALL_BASELINE_CLASSIFIERS",
+    "KNN",
+    "GaussianNB",
+    "OneR",
+    "ZeroR",
+    "C45Classifier",
+    "entropy",
+    "Dataset",
+    "Instance",
+    "TreeNode",
+    "ConfusionMatrix",
+    "cross_validate",
+    "holdout_score",
+]

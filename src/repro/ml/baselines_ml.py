@@ -1,0 +1,185 @@
+"""Comparison classifiers for the "we experimented with several" step.
+
+The paper (Section 3) tried several public-domain classifiers and picked
+J48.  These lightweight reimplementations — majority-class ZeroR, single-
+attribute OneR, Gaussian naive Bayes, and k-nearest-neighbours — let the
+classifier-ablation bench reproduce that comparison without external
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import DatasetError, NotFittedError
+from repro.ml.dataset import Dataset
+
+
+class ZeroR:
+    """Always predicts the majority class; the accuracy floor."""
+
+    name = "ZeroR"
+
+    def __init__(self) -> None:
+        self.label_: Optional[str] = None
+
+    def fit(self, data: Dataset) -> "ZeroR":
+        if len(data) == 0:
+            raise DatasetError("cannot fit on empty dataset")
+        counts = data.class_counts()
+        self.label_ = max(sorted(counts), key=lambda c: counts[c])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.label_ is None:
+            raise NotFittedError("ZeroR has not been fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return np.array([self.label_] * X.shape[0], dtype=object)
+
+
+class OneR:
+    """Best single-feature, single-threshold rule set.
+
+    For each feature, builds the optimal 1-D decision stump with up to
+    ``bins`` cut points and keeps the feature with the lowest training error.
+    """
+
+    name = "OneR"
+
+    def __init__(self, bins: int = 12) -> None:
+        if bins < 2:
+            raise DatasetError("bins must be >= 2")
+        self.bins = bins
+        self.feature_: Optional[int] = None
+        self.edges_: Optional[np.ndarray] = None
+        self.labels_: Optional[list] = None
+        self.fallback_: Optional[str] = None
+
+    def fit(self, data: Dataset) -> "OneR":
+        if len(data) == 0:
+            raise DatasetError("cannot fit on empty dataset")
+        counts = data.class_counts()
+        self.fallback_ = max(sorted(counts), key=lambda c: counts[c])
+        best_err = None
+        for f in range(data.n_features):
+            col = data.X[:, f]
+            qs = np.quantile(col, np.linspace(0, 1, self.bins + 1)[1:-1])
+            edges = np.unique(qs)
+            bins = np.digitize(col, edges)
+            labels = []
+            err = 0
+            for b in range(edges.size + 1):
+                mask = bins == b
+                if not mask.any():
+                    labels.append(self.fallback_)
+                    continue
+                ys = data.y[mask]
+                vals, cnts = np.unique(ys.astype(str), return_counts=True)
+                win = vals[int(cnts.argmax())]
+                labels.append(str(win))
+                err += int(mask.sum() - cnts.max())
+            if best_err is None or err < best_err:
+                best_err = err
+                self.feature_ = f
+                self.edges_ = edges
+                self.labels_ = labels
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.feature_ is None:
+            raise NotFittedError("OneR has not been fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        bins = np.digitize(X[:, self.feature_], self.edges_)
+        return np.array([self.labels_[int(b)] for b in bins], dtype=object)
+
+
+class GaussianNB:
+    """Gaussian naive Bayes with per-class feature means/variances."""
+
+    name = "NaiveBayes"
+
+    def __init__(self, var_smoothing: float = 1e-12) -> None:
+        self.var_smoothing = var_smoothing
+        self.classes_: Optional[list] = None
+        self.theta_: Optional[np.ndarray] = None
+        self.var_: Optional[np.ndarray] = None
+        self.prior_: Optional[np.ndarray] = None
+
+    def fit(self, data: Dataset) -> "GaussianNB":
+        if len(data) == 0:
+            raise DatasetError("cannot fit on empty dataset")
+        self.classes_ = data.classes
+        k, d = len(self.classes_), data.n_features
+        self.theta_ = np.zeros((k, d))
+        self.var_ = np.zeros((k, d))
+        self.prior_ = np.zeros(k)
+        overall_var = data.X.var(axis=0).max() if len(data) > 1 else 1.0
+        eps = self.var_smoothing * max(overall_var, 1e-30)
+        for i, c in enumerate(self.classes_):
+            rows = data.X[data.y == c]
+            self.theta_[i] = rows.mean(axis=0)
+            self.var_[i] = rows.var(axis=0) + eps
+            self.prior_[i] = rows.shape[0] / len(data)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("GaussianNB has not been fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        # log p(c) + sum_f log N(x_f | theta, var)
+        ll = np.log(self.prior_)[None, :] - 0.5 * (
+            np.log(2 * np.pi * self.var_)[None, :, :]
+            + (X[:, None, :] - self.theta_[None, :, :]) ** 2
+            / self.var_[None, :, :]
+        ).sum(axis=2)
+        idx = ll.argmax(axis=1)
+        return np.array([self.classes_[int(i)] for i in idx], dtype=object)
+
+
+class KNN:
+    """k-nearest-neighbours with per-feature standardization."""
+
+    name = "kNN"
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise DatasetError("k must be >= 1")
+        self.k = k
+        self.X_: Optional[np.ndarray] = None
+        self.y_: Optional[np.ndarray] = None
+        self.mu_: Optional[np.ndarray] = None
+        self.sd_: Optional[np.ndarray] = None
+
+    def fit(self, data: Dataset) -> "KNN":
+        if len(data) == 0:
+            raise DatasetError("cannot fit on empty dataset")
+        self.mu_ = data.X.mean(axis=0)
+        self.sd_ = data.X.std(axis=0)
+        self.sd_[self.sd_ == 0] = 1.0
+        self.X_ = (data.X - self.mu_) / self.sd_
+        self.y_ = data.y.copy()
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.X_ is None:
+            raise NotFittedError("KNN has not been fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Z = (X - self.mu_) / self.sd_
+        d2 = ((Z[:, None, :] - self.X_[None, :, :]) ** 2).sum(axis=2)
+        k = min(self.k, self.X_.shape[0])
+        nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        out = []
+        for row in nn:
+            vals, cnts = np.unique(self.y_[row].astype(str), return_counts=True)
+            out.append(str(vals[int(cnts.argmax())]))
+        return np.array(out, dtype=object)
+
+
+ALL_BASELINE_CLASSIFIERS: Dict[str, type] = {
+    "ZeroR": ZeroR,
+    "OneR": OneR,
+    "NaiveBayes": GaussianNB,
+    "kNN": KNN,
+}

@@ -1,0 +1,157 @@
+"""Labeled datasets for classifier training and evaluation.
+
+A :class:`Dataset` is a feature matrix (rows = program runs, columns =
+normalized event counts) with string labels ("good" / "bad-fs" / "bad-ma")
+and column names.  It deliberately knows nothing about workloads or PMUs;
+conversions live in :mod:`repro.core.training`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.utils.rng import rng_for
+
+
+@dataclass
+class Instance:
+    """One labeled training example."""
+
+    features: np.ndarray
+    label: str
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=float)
+        if self.features.ndim != 1:
+            raise DatasetError("instance features must be a 1-D vector")
+        if not self.label:
+            raise DatasetError("instance label must be non-empty")
+
+
+class Dataset:
+    """An immutable (X, y) pair with named feature columns."""
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: Sequence[str],
+        feature_names: Sequence[str],
+        meta: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        self.X = np.asarray(X, dtype=float)
+        self.y = np.asarray(list(y), dtype=object)
+        self.feature_names = list(feature_names)
+        if self.X.ndim != 2:
+            raise DatasetError("X must be 2-D")
+        if self.X.shape[0] != self.y.shape[0]:
+            raise DatasetError(
+                f"X has {self.X.shape[0]} rows but y has {self.y.shape[0]} labels"
+            )
+        if self.X.shape[1] != len(self.feature_names):
+            raise DatasetError(
+                f"X has {self.X.shape[1]} columns but "
+                f"{len(self.feature_names)} feature names were given"
+            )
+        if not np.isfinite(self.X).all():
+            raise DatasetError("X contains non-finite values")
+        self.meta = meta if meta is not None else [{} for _ in range(len(self.y))]
+        if len(self.meta) != len(self.y):
+            raise DatasetError("meta must have one entry per row")
+
+    # ------------------------------------------------------------- basics
+
+    def __len__(self) -> int:
+        return int(self.y.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.X.shape[1])
+
+    @property
+    def classes(self) -> List[str]:
+        """Distinct labels in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for lab in self.y:
+            seen.setdefault(lab, None)
+        return list(seen)
+
+    def class_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for lab in self.y:
+            out[lab] = out.get(lab, 0) + 1
+        return out
+
+    def subset(self, idx) -> "Dataset":
+        """Row subset (keeps columns and names)."""
+        idx = np.asarray(idx)
+        return Dataset(
+            self.X[idx],
+            list(self.y[idx]),
+            self.feature_names,
+            [self.meta[int(i)] for i in np.arange(len(self))[idx]]
+            if idx.dtype == bool
+            else [self.meta[int(i)] for i in idx],
+        )
+
+    def select_features(self, names: Sequence[str]) -> "Dataset":
+        """Column subset by feature name (ablation studies)."""
+        missing = [n for n in names if n not in self.feature_names]
+        if missing:
+            raise DatasetError(f"unknown features: {missing}")
+        cols = [self.feature_names.index(n) for n in names]
+        return Dataset(self.X[:, cols], list(self.y), list(names), self.meta)
+
+    def concat(self, other: "Dataset") -> "Dataset":
+        """Row-wise concatenation; feature names must match exactly."""
+        if self.feature_names != other.feature_names:
+            raise DatasetError("cannot concat datasets with different features")
+        return Dataset(
+            np.vstack([self.X, other.X]),
+            list(self.y) + list(other.y),
+            self.feature_names,
+            self.meta + other.meta,
+        )
+
+    @classmethod
+    def from_instances(
+        cls, instances: Sequence[Instance], feature_names: Sequence[str]
+    ) -> "Dataset":
+        if not instances:
+            return cls(np.empty((0, len(feature_names))), [], feature_names, [])
+        X = np.vstack([inst.features for inst in instances])
+        return cls(
+            X,
+            [inst.label for inst in instances],
+            feature_names,
+            [inst.meta for inst in instances],
+        )
+
+    # --------------------------------------------------------------- folds
+
+    def stratified_folds(
+        self, k: int = 10, seed: int = 0
+    ) -> Iterator[Tuple["Dataset", "Dataset"]]:
+        """Yield (train, test) pairs for stratified k-fold cross-validation.
+
+        Stratification matches Weka's: within each class, instances are
+        shuffled and dealt round-robin into folds, so class proportions in
+        each fold track the full set.
+        """
+        if k < 2:
+            raise DatasetError("k must be >= 2")
+        if len(self) < k:
+            raise DatasetError(f"cannot make {k} folds from {len(self)} rows")
+        rng = rng_for("folds", seed, len(self))
+        fold_of = np.empty(len(self), dtype=int)
+        for cls_label in self.classes:
+            idx = np.flatnonzero(self.y == cls_label)
+            idx = idx[rng.permutation(idx.size)]
+            fold_of[idx] = np.arange(idx.size) % k
+        for f in range(k):
+            test_mask = fold_of == f
+            yield self.subset(~test_mask), self.subset(test_mask)

@@ -1,0 +1,125 @@
+"""Model validation: stratified cross-validation and confusion matrices.
+
+Reproduces the paper's Section 3.2 evaluation protocol: stratified 10-fold
+cross-validation on the training data, reported as an overall success rate
+and a confusion matrix (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.ml.dataset import Dataset
+from repro.utils.tables import render_table
+
+
+@dataclass
+class ConfusionMatrix:
+    """Counts of (actual, predicted) pairs over a fixed class order."""
+
+    classes: List[str]
+    matrix: np.ndarray  # rows = actual, cols = predicted
+
+    @classmethod
+    def empty(cls, classes: Sequence[str]) -> "ConfusionMatrix":
+        k = len(classes)
+        return cls(list(classes), np.zeros((k, k), dtype=int))
+
+    def add(self, actual: str, predicted: str) -> None:
+        try:
+            i = self.classes.index(actual)
+        except ValueError:
+            raise DatasetError(f"unknown actual class {actual!r}") from None
+        if predicted not in self.classes:
+            # A predicted label outside the training classes counts as an
+            # error against every class; record it in a synthetic column.
+            self.classes.append(predicted)
+            k = len(self.classes)
+            grown = np.zeros((k, k), dtype=int)
+            grown[: k - 1, : k - 1] = self.matrix
+            self.matrix = grown
+        j = self.classes.index(predicted)
+        self.matrix[i, j] += 1
+
+    def merge(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        if self.classes != other.classes:
+            raise DatasetError("cannot merge confusion matrices: class mismatch")
+        return ConfusionMatrix(list(self.classes), self.matrix + other.matrix)
+
+    @property
+    def total(self) -> int:
+        return int(self.matrix.sum())
+
+    @property
+    def correct(self) -> int:
+        return int(np.trace(self.matrix))
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    def count(self, actual: str, predicted: str) -> int:
+        return int(
+            self.matrix[self.classes.index(actual), self.classes.index(predicted)]
+        )
+
+    def per_class(self) -> Dict[str, Dict[str, float]]:
+        """Precision / recall / F1 per class."""
+        out: Dict[str, Dict[str, float]] = {}
+        for i, c in enumerate(self.classes):
+            tp = self.matrix[i, i]
+            fn = self.matrix[i].sum() - tp
+            fp = self.matrix[:, i].sum() - tp
+            prec = tp / (tp + fp) if tp + fp else 0.0
+            rec = tp / (tp + fn) if tp + fn else 0.0
+            f1 = 2 * prec * rec / (prec + rec) if prec + rec else 0.0
+            out[c] = {"precision": prec, "recall": rec, "f1": f1,
+                      "support": int(tp + fn)}
+        return out
+
+    def render(self, title: str = "Confusion matrix") -> str:
+        headers = ["actual \\ predicted"] + self.classes
+        rows = [
+            [c] + [int(v) for v in self.matrix[i]]
+            for i, c in enumerate(self.classes)
+        ]
+        return render_table(headers, rows, title=title)
+
+
+def cross_validate(
+    make_model: Callable[[], object],
+    data: Dataset,
+    k: int = 10,
+    seed: int = 0,
+) -> ConfusionMatrix:
+    """Stratified k-fold CV; returns the pooled confusion matrix.
+
+    ``make_model`` builds a fresh unfitted model per fold (any object with
+    ``fit(Dataset)`` and ``predict(X)``).
+    """
+    cm = ConfusionMatrix.empty(data.classes)
+    for train, test in data.stratified_folds(k=k, seed=seed):
+        model = make_model()
+        model.fit(train)
+        pred = model.predict(test.X)
+        for actual, p in zip(test.y, pred):
+            cm.add(str(actual), str(p))
+    return cm
+
+
+def holdout_score(
+    make_model: Callable[[], object],
+    train: Dataset,
+    test: Dataset,
+) -> ConfusionMatrix:
+    """Train on one dataset, evaluate on another."""
+    model = make_model()
+    model.fit(train)
+    cm = ConfusionMatrix.empty(sorted(set(train.classes) | set(test.classes)))
+    for actual, p in zip(test.y, model.predict(test.X)):
+        cm.add(str(actual), str(p))
+    return cm

@@ -1,0 +1,80 @@
+"""Event-count vectors and normalization.
+
+The classifier never sees absolute counts: every event is divided by
+``Instructions_Retired`` (paper Section 2.3, last paragraph of the event
+discussion), making counts from different programs and problem sizes
+comparable.  :class:`EventVector` holds one measurement and produces the
+normalized feature vector in Table 2 order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import PMUError
+from repro.pmu.events import NORMALIZER, Event
+
+
+@dataclass
+class EventVector:
+    """Measured counts for a set of events from one program run."""
+
+    values: Dict[str, float]
+    overhead: float = 0.0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def count(self, event: Event) -> float:
+        try:
+            return self.values[event.name]
+        except KeyError:
+            raise PMUError(f"event {event.name!r} was not measured") from None
+
+    @property
+    def instructions(self) -> float:
+        return self.count(NORMALIZER)
+
+    def normalized(self, event: Event) -> float:
+        """Count of ``event`` per retired instruction."""
+        instr = self.instructions
+        if instr <= 0:
+            raise PMUError("zero instructions retired; cannot normalize")
+        return self.count(event) / instr
+
+    def features(self, events: Sequence[Event]) -> np.ndarray:
+        """Normalized counts for ``events``, as a float vector."""
+        return np.array([self.normalized(e) for e in events], dtype=float)
+
+
+def feature_matrix(
+    vectors: Sequence[EventVector], events: Sequence[Event]
+) -> np.ndarray:
+    """Stack many measurements into an (n_samples, n_events) matrix."""
+    if not vectors:
+        return np.empty((0, len(events)), dtype=float)
+    return np.vstack([v.features(events) for v in vectors])
+
+
+def feature_names(events: Sequence[Event]) -> List[str]:
+    """Column names matching :func:`feature_matrix`."""
+    return [e.name for e in events]
+
+
+def merge_vectors(a: EventVector, b: EventVector) -> EventVector:
+    """Combine two measurements of disjoint event sets from the same run."""
+    dup = set(a.values) & set(b.values)
+    if dup:
+        raise PMUError(f"events measured twice: {sorted(dup)}")
+    vals = dict(a.values)
+    vals.update(b.values)
+    return EventVector(vals, overhead=max(a.overhead, b.overhead),
+                       meta={**a.meta, **b.meta})
+
+
+def require_events(vector: EventVector, events: Sequence[Event]) -> None:
+    """Raise PMUError unless every event was measured."""
+    missing = [e.name for e in events if e.name not in vector.values]
+    if missing:
+        raise PMUError(f"measurement is missing events: {missing}")

@@ -1,0 +1,204 @@
+"""Performance-event catalog for the simulated Westmere DP PMU.
+
+``TABLE2_EVENTS`` lists the paper's 16 selected events in Table 2 order, so
+"event 11" in the learned tree means exactly what it means in the paper
+(``Snoop_Response.HIT "M"``).  ``CANDIDATE_EVENTS`` is the larger list the
+selection procedure of Section 2.3 starts from (the paper reports 60-70
+candidates on Nehalem EX / Westmere DP); it includes the 16, plus cache/TLB/
+stall/offcore events with genuine signal, plus events that scale with
+instruction count and must be rejected by the 2x heuristic, plus the
+notoriously erratic ``MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM`` that the paper
+expected to help and found useless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import UnknownEventError
+
+
+@dataclass(frozen=True)
+class Event:
+    """One countable PMU event.
+
+    ``raw_key`` names the exact counter in ``SimulationResult.counts``;
+    ``noise`` is the relative measurement noise of the physical counter
+    (L1D events are markedly noisier — the paper calls this out and cites
+    Levinthal's caution); ``erratic`` marks events with hardware errata whose
+    counts are dominated by unrelated traffic.
+    """
+
+    name: str
+    code: int
+    umask: int
+    raw_key: str
+    noise: float = 0.03
+    erratic: bool = False
+    description: str = ""
+
+    @property
+    def selector(self) -> str:
+        """perf-style event selector string."""
+        return f"r{self.umask:02X}{self.code:02X}"
+
+
+def _ev(name, code, umask, raw_key, noise=0.03, erratic=False, description=""):
+    return Event(name, code, umask, raw_key, noise, erratic, description)
+
+
+#: The 16 events of Table 2, in the paper's order.  Index i in this list is
+#: "event i+1" in the paper's numbering (the tree in Figure 2 uses 11/6/14/13).
+TABLE2_EVENTS: List[Event] = [
+    _ev("L2_Data_Requests.Demand.I_state", 0x26, 0x01,
+        "L2_DATA_RQSTS.DEMAND.I_STATE",
+        description="L2 demand data requests that found the line Invalid"),
+    _ev("L2_Write.RFO.S_state", 0x27, 0x02, "L2_WRITE.RFO.S_STATE",
+        description="Store RFOs that hit the line in Shared state"),
+    _ev("L2_Requests.LD_MISS", 0x24, 0x02, "L2_RQSTS.LD_MISS",
+        description="Load requests that missed L2"),
+    _ev("Resource_Stalls.Store", 0xA2, 0x08, "RESOURCE_STALLS.STORE",
+        description="Cycles stalled on a full store buffer"),
+    _ev("Offcore_Requests.Demand_RD_Data", 0xB0, 0x01,
+        "OFFCORE_REQUESTS.DEMAND.READ_DATA",
+        description="Demand data reads that left the core"),
+    _ev("L2_Transactions.FILL", 0xF0, 0x20, "L2_TRANSACTIONS.FILL",
+        description="Lines filled into L2"),
+    _ev("L2_Lines_In.S_state", 0xF1, 0x02, "L2_LINES_IN.S_STATE",
+        description="Lines allocated into L2 in Shared state"),
+    _ev("L2_Lines_Out.Demand_Clean", 0xF2, 0x01, "L2_LINES_OUT.DEMAND_CLEAN",
+        description="Clean lines evicted from L2 by demand traffic"),
+    _ev("Snoop_Response.HIT", 0xB8, 0x01, "SNOOP_RESPONSE.HIT",
+        description="Snoops answered HIT (line Shared, clean)"),
+    _ev("Snoop_Response.HIT_E", 0xB8, 0x02, "SNOOP_RESPONSE.HITE",
+        description="Snoops answered HIT with line Exclusive"),
+    _ev("Snoop_Response.HIT_M", 0xB8, 0x04, "SNOOP_RESPONSE.HITM",
+        description="Snoops answered HIT with line Modified "
+                    "(dirty cache-to-cache transfer: the false-sharing event)"),
+    _ev("Mem_Load_Retd.HIT_LFB", 0xCB, 0x40, "MEM_LOAD_RETIRED.HIT_LFB",
+        description="Loads that hit a pending line-fill buffer"),
+    _ev("DTLB_Misses", 0x49, 0x01, "DTLB_MISSES.ANY",
+        description="First-level DTLB misses"),
+    _ev("L1D_Cache_Replacements", 0x51, 0x01, "L1D.REPL", noise=0.06,
+        description="Lines brought into L1D"),
+    _ev("Resource_Stalls.Loads", 0xA2, 0x02, "RESOURCE_STALLS.LOAD",
+        description="Cycles stalled waiting on loads"),
+    _ev("Instructions_Retired", 0xC0, 0x00, "INST_RETIRED.ANY", noise=0.002,
+        description="Retired instructions (the normalizer)"),
+]
+
+#: Unhalted cycles: a fixed counter used for timing/overhead accounting.
+#: Like Instructions_Retired it is not an event-selection candidate — it
+#: measures elapsed time, not a memory-behaviour signature.
+CLOCK_EVENT: Event = _ev(
+    "CPU_Clk_Unhalted.Core", 0x3C, 0x00, "CPU_CLK_UNHALTED.CORE", 0.01,
+    description="Unhalted core cycles",
+)
+
+#: Candidate events beyond Table 2 (the Section 2.3 starting list).
+EXTRA_CANDIDATES: List[Event] = [
+    _ev("Mem_Inst_Retired.Loads", 0x0B, 0x01, "MEM_INST_RETIRED.LOADS", 0.01),
+    _ev("Mem_Inst_Retired.Stores", 0x0B, 0x02, "MEM_INST_RETIRED.STORES", 0.01),
+    _ev("L1D_Cache_LD", 0x40, 0x01, "L1D_CACHE_LD", noise=0.28,
+        description="L1D load references (noisy counter)"),
+    _ev("L1D_Cache_ST", 0x41, 0x01, "L1D_CACHE_ST", noise=0.28,
+        description="L1D store references (noisy counter)"),
+    _ev("Mem_Load_Retired.L1D_Hit", 0xCB, 0x01, "MEM_LOAD_RETIRED.L1D_HIT", 0.22),
+    _ev("Mem_Load_Retired.L2_Hit", 0xCB, 0x02, "MEM_LOAD_RETIRED.L2_HIT", 0.05),
+    _ev("Mem_Load_Retired.LLC_Hit", 0xCB, 0x04, "MEM_LOAD_RETIRED.LLC_HIT", 0.05),
+    _ev("Mem_Load_Retired.LLC_Miss", 0xCB, 0x10, "MEM_LOAD_RETIRED.LLC_MISS", 0.05),
+    _ev("L2_Rqsts.LD_Hit", 0x24, 0x01, "L2_RQSTS.LD_HIT", 0.04),
+    _ev("L2_Rqsts.RFO_Hit", 0x24, 0x04, "L2_RQSTS.RFO_HIT", 0.04),
+    _ev("L2_Rqsts.RFO_Miss", 0x24, 0x08, "L2_RQSTS.RFO_MISS", 0.04),
+    _ev("L2_Lines_In.E_state", 0xF1, 0x04, "L2_LINES_IN.E_STATE", 0.04),
+    _ev("L2_Lines_In.Any", 0xF1, 0x07, "L2_LINES_IN.ANY", 0.04),
+    _ev("L2_Lines_Out.Demand_Dirty", 0xF2, 0x02, "L2_LINES_OUT.DEMAND_DIRTY", 0.04),
+    _ev("L2_Writebacks", 0xF0, 0x10, "L2_WRITEBACKS", 0.04),
+    _ev("Offcore_Requests.Demand_RFO", 0xB0, 0x02,
+        "OFFCORE_REQUESTS.DEMAND.RFO", 0.03),
+    _ev("Offcore_Requests.Any", 0xB0, 0x80, "OFFCORE_REQUESTS.ANY", 0.03),
+    _ev("Longest_Lat_Cache.Reference", 0x2E, 0x4F,
+        "LONGEST_LAT_CACHE.REFERENCE", 0.03),
+    _ev("Longest_Lat_Cache.Miss", 0x2E, 0x41, "LONGEST_LAT_CACHE.MISS", 0.03),
+    _ev("Resource_Stalls.Any", 0xA2, 0x01, "RESOURCE_STALLS.ANY", 0.03),
+    _ev("Mem_Store_Retired.DTLB_Miss", 0x0C, 0x01,
+        "MEM_STORE_RETIRED.DTLB_MISS", 0.05),
+    _ev("DTLB_Load_Misses.Any", 0x08, 0x01, "DTLB_LOAD_MISSES.ANY", 0.05),
+    _ev("DTLB_Misses.Walk_Cycles", 0x49, 0x04, "DTLB_MISSES.WALK_CYCLES", 0.05),
+    _ev("ITLB_Misses.Any", 0x85, 0x01, "ITLB_MISSES.ANY", 0.10),
+    _ev("L1D_Prefetch.Requests", 0x4E, 0x02, "L1D_PREFETCH.REQUESTS", 0.08),
+    _ev("Br_Inst_Retired.All_Branches", 0xC4, 0x00,
+        "BR_INST_RETIRED.ALL_BRANCHES", 0.01,
+        description="Scales with instructions; carries no memory signal"),
+    _ev("Br_Misp_Retired.All_Branches", 0xC5, 0x00,
+        "BR_MISP_RETIRED.ALL_BRANCHES", 0.05),
+    _ev("Uops_Retired.Any", 0xC2, 0x01, "UOPS_RETIRED.ANY", 0.01),
+    _ev("Uops_Issued.Any", 0x0E, 0x01, "UOPS_ISSUED.ANY", 0.01),
+    _ev("FP_Comp_Ops_Exe.SSE_FP", 0x10, 0x04, "FP_COMP_OPS_EXE.SSE_FP", 0.02),
+    _ev("Arith.Cycles_Div_Busy", 0x14, 0x01, "ARITH.CYCLES_DIV_BUSY", 0.05),
+    _ev("Machine_Clears.Cycles", 0xC3, 0x01, "MACHINE_CLEARS.CYCLES", 0.10),
+    _ev("Load_Dispatch.Any", 0x13, 0x07, "LOAD_DISPATCH.ANY", 0.03),
+    _ev("SQ_Misc.Fill_Dropped", 0xF4, 0x04, "SQ_MISC.FILL_DROPPED", 0.15),
+    _ev("Memory_Uncore_Retired.Other_core_L2_HITM", 0x0F, 0x02,
+        "MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM", noise=0.30, erratic=True,
+        description="Remote-HITM loads; Westmere erratum makes its counts "
+                    "dominated by unrelated load traffic (paper Section 2.3 "
+                    "found it useless despite expectations)"),
+]
+
+CANDIDATE_EVENTS: List[Event] = TABLE2_EVENTS + EXTRA_CANDIDATES
+
+#: Every event the library knows about (candidates + fixed counters).
+ALL_EVENTS: List[Event] = CANDIDATE_EVENTS + [CLOCK_EVENT]
+
+_BY_NAME: Dict[str, Event] = {e.name: e for e in ALL_EVENTS}
+_BY_RAW: Dict[str, Event] = {e.raw_key: e for e in ALL_EVENTS}
+_BY_CODE: Dict[Tuple[int, int], Event] = {
+    (e.code, e.umask): e for e in ALL_EVENTS
+}
+
+#: Event used to normalize all others (event 16 of Table 2).
+NORMALIZER: Event = TABLE2_EVENTS[15]
+
+
+def event_by_name(name: str) -> Event:
+    """Look up an event by its human-readable name (case-insensitive)."""
+    e = _BY_NAME.get(name)
+    if e is None:
+        for cand in ALL_EVENTS:
+            if cand.name.lower() == name.lower():
+                return cand
+        raise UnknownEventError(f"unknown event name: {name!r}")
+    return e
+
+
+def event_by_raw_key(raw_key: str) -> Event:
+    """Look up an event by its raw simulator counter key."""
+    try:
+        return _BY_RAW[raw_key]
+    except KeyError:
+        raise UnknownEventError(f"unknown raw counter: {raw_key!r}") from None
+
+
+def event_by_code(code: int, umask: int) -> Event:
+    """Look up an event by its (event code, umask) pair, as in Table 2."""
+    try:
+        return _BY_CODE[(code, umask)]
+    except KeyError:
+        raise UnknownEventError(
+            f"unknown event code {code:02X}/{umask:02X}"
+        ) from None
+
+
+def event_number(event: Event) -> Optional[int]:
+    """The paper's 1-based Table 2 index, or None for non-Table-2 events."""
+    for i, e in enumerate(TABLE2_EVENTS):
+        if e.name == event.name:
+            return i + 1
+    return None
+
+
+def feature_events() -> List[Event]:
+    """The 15 events used as classifier features (Table 2 minus normalizer)."""
+    return TABLE2_EVENTS[:15]

@@ -1,0 +1,53 @@
+"""Phoenix and PARSEC benchmark workload models."""
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.suites.base import OPT_LEVELS, SuiteCase, SuiteProgram, opt_effects
+from repro.suites.common import ParamModel
+from repro.suites.parsec import PARSEC_PROGRAMS, StreamCluster
+from repro.suites.phoenix import PHOENIX_PROGRAMS, LinearRegression
+
+_SUITES: Dict[str, SuiteProgram] = {}
+for _cls in PHOENIX_PROGRAMS + PARSEC_PROGRAMS:
+    _inst = _cls()
+    _SUITES[_inst.name] = _inst
+
+
+def get_program(name: str) -> SuiteProgram:
+    """Look up a suite program by name."""
+    try:
+        return _SUITES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown suite program {name!r}; known: {sorted(_SUITES)}"
+        ) from None
+
+
+def phoenix_programs() -> List[SuiteProgram]:
+    return [_SUITES[c.name] for c in PHOENIX_PROGRAMS]
+
+
+def parsec_programs() -> List[SuiteProgram]:
+    return [_SUITES[c.name] for c in PARSEC_PROGRAMS]
+
+
+def all_programs() -> List[SuiteProgram]:
+    return phoenix_programs() + parsec_programs()
+
+
+__all__ = [
+    "OPT_LEVELS",
+    "SuiteCase",
+    "SuiteProgram",
+    "opt_effects",
+    "ParamModel",
+    "PARSEC_PROGRAMS",
+    "PHOENIX_PROGRAMS",
+    "StreamCluster",
+    "LinearRegression",
+    "get_program",
+    "phoenix_programs",
+    "parsec_programs",
+    "all_programs",
+]

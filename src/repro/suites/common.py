@@ -1,0 +1,228 @@
+"""A parametric benchmark model shared by the Phoenix and PARSEC suites.
+
+Each benchmark thread executes ``iters`` loop iterations.  Every iteration
+loads one element of the thread's private slice of the input (streaming);
+every ``gather_period``-th iteration additionally loads a random element of
+a gather table (hash lookups, pointer chasing, distance computations —
+the bad-memory-access mechanism when the table outgrows the caches); every
+``acc_period``-th iteration read-modify-writes the thread's accumulator
+fields (the false-sharing mechanism when the accumulator structs of
+different threads share cache lines).  Threads also touch a truly-shared
+synchronization word periodically, and may burn ``spin_instr`` extra
+instructions waiting on locks.
+
+Subclasses override the ``p_*`` parameter methods per (input, opt, threads)
+case; the base class turns parameters into traces.  Parameters describe the
+*program* (structs, footprints, loop shapes) — never the expected label.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.memory.allocator import BumpAllocator
+from repro.memory.layout import LINE_SIZE
+from repro.suites.base import SuiteCase, SuiteProgram, opt_effects
+from repro.trace.access import ThreadTrace
+from repro.workloads.builders import with_sync
+
+
+class ParamModel(SuiteProgram):
+    """Parameter-driven benchmark model."""
+
+    # ---- parameters (override per benchmark) -----------------------------
+
+    def p_iters(self, case: SuiteCase) -> int:
+        """Loop iterations per thread."""
+        return 20_000
+
+    def p_input_bytes(self, case: SuiteCase) -> int:
+        """Total streamed input size in bytes (split across threads)."""
+        return 1 << 20
+
+    def p_acc_fields(self, case: SuiteCase) -> int:
+        """Fields in the per-thread accumulator struct."""
+        return 1
+
+    def p_acc_stride(self, case: SuiteCase) -> Optional[int]:
+        """Byte stride between adjacent threads' accumulator structs.
+
+        None means properly padded (one cache line per thread); a value
+        smaller than LINE_SIZE packs several threads per line — false
+        sharing.
+        """
+        return None
+
+    def p_acc_period(self, case: SuiteCase) -> int:
+        """Iterations between accumulator updates (0 disables them)."""
+        return 1
+
+    def p_gather_period(self, case: SuiteCase) -> int:
+        """Iterations between gather-table loads (0 disables them)."""
+        return 0
+
+    def p_gather_bytes(self, case: SuiteCase) -> int:
+        """Gather-table footprint **per thread**."""
+        return 1 << 16
+
+    def p_gather_shared(self, case: SuiteCase) -> bool:
+        """Whether all threads gather from one shared table."""
+        return False
+
+    def p_ipa(self, case: SuiteCase) -> float:
+        """Base instructions per access (before the opt-level scale)."""
+        return 3.0
+
+    def p_sync_every(self, case: SuiteCase) -> int:
+        """Accesses between true-sharing sync-word touches."""
+        return 2048
+
+    def p_spin_instr(self, case: SuiteCase, tid: int) -> int:
+        """Extra instructions burnt spinning (models lock waiting)."""
+        return 0
+
+    def p_stack_every(self, case: SuiteCase) -> int:
+        """Iterations between hot stack-slot RMWs (0 disables).
+
+        Compiled loop bodies constantly touch thread-private stack slots
+        (spilled temporaries, frame accesses); those accesses are L1-resident
+        and dilute the per-instruction miss rates exactly as the
+        mini-programs' accumulator traffic does.  Leave at 1 unless the
+        modeled inner loop is a tight register-only kernel.
+        """
+        return 1
+
+    def p_merge_rmws(self, case: SuiteCase) -> int:
+        """RMWs each thread performs on the packed result-merge line at the
+        end of the run (0 disables).
+
+        Reduction-style programs end with every thread folding its result
+        into adjacent slots of one shared structure.  The merge is constant
+        work per thread, so its *per-instruction* weight grows with the
+        thread count — which is why contention rates creep up with T even
+        when the steady-state loop is thread-count-independent.
+        """
+        return 0
+
+    # ---- trace construction ----------------------------------------------
+
+    def _generate(self, case: SuiteCase) -> Sequence[ThreadTrace]:
+        eff = opt_effects(case.opt)
+        nt = case.threads
+        iters = max(1, self.p_iters(case))
+        alloc = BumpAllocator()
+        sync_word = alloc.alloc_line_aligned(64)
+
+        fields = max(1, self.p_acc_fields(case))
+        stride = self.p_acc_stride(case)
+        struct_bytes = max(8 * fields, 8)
+        if stride is None:
+            stride = ((struct_bytes + LINE_SIZE - 1) // LINE_SIZE) * LINE_SIZE
+        acc_base = alloc.alloc(max(stride * nt, struct_bytes * nt), align=64)
+        merge_base = alloc.alloc(8 * nt, align=64)  # packed: 8 slots/line
+
+        in_bytes = max(self.p_input_bytes(case), 4 * nt)
+        input_arr = alloc.alloc_array(4, in_bytes // 4, align=64)
+
+        gather_shared = self.p_gather_shared(case)
+        g_bytes = max(self.p_gather_bytes(case), 64)
+        if gather_shared:
+            shared_table = alloc.alloc_array(8, g_bytes // 8, align=64)
+
+        acc_period = self.p_acc_period(case)
+        gather_period = self.p_gather_period(case)
+        ipa = self.p_ipa(case) * float(eff["instr_scale"])
+        if not eff["registerized"]:
+            # Unoptimized code spills scalars: a touch more memory traffic is
+            # already captured by instr_scale; nothing extra needed here.
+            pass
+
+        stack_every = self.p_stack_every(case)
+        chunk_elems = max(1, (in_bytes // 4) // nt)
+        threads = []
+        for tid in range(nt):
+            rng = self.rng(case, tid)
+            if gather_shared:
+                table = shared_table
+            else:
+                table = alloc.alloc_array(8, g_bytes // 8, align=64)
+            stack_slot = alloc.alloc_line_aligned(64)
+
+            base_elem = tid * chunk_elems
+            stream_idx = base_elem + (np.arange(iters) % chunk_elems)
+            stream = input_arr.addr(stream_idx % (in_bytes // 4))
+
+            it = np.arange(iters, dtype=np.int64)
+            do_gather = (
+                (it % gather_period == gather_period - 1)
+                if gather_period > 0 else np.zeros(iters, bool)
+            )
+            do_acc = (
+                (it % acc_period == acc_period - 1)
+                if acc_period > 0 else np.zeros(iters, bool)
+            )
+            do_stack = (
+                (it % stack_every == 0)
+                if stack_every > 0 else np.zeros(iters, bool)
+            )
+            counts = (
+                1
+                + do_gather.astype(np.int64)
+                + 2 * fields * do_acc.astype(np.int64)
+                + 2 * do_stack.astype(np.int64)
+            )
+            total = int(counts.sum())
+            addrs = np.empty(total, dtype=np.int64)
+            writes = np.zeros(total, dtype=bool)
+            ends = np.cumsum(counts)
+            starts = ends - counts
+            addrs[starts] = stream
+            pos = starts + 1
+            gs = pos[do_gather]
+            if gs.size:
+                g_idx = rng.integers(0, table.length, size=gs.size)
+                addrs[gs] = table.addr(g_idx)
+            pos = pos + do_gather.astype(np.int64)
+            ss = pos[do_stack]
+            addrs[ss] = stack_slot
+            addrs[ss + 1] = stack_slot
+            writes[ss + 1] = True
+            pos = pos + 2 * do_stack.astype(np.int64)
+            accs = pos[do_acc]
+            acc_addr = acc_base + tid * stride
+            for f in range(fields):
+                addrs[accs + 2 * f] = acc_addr + 8 * f
+                addrs[accs + 2 * f + 1] = acc_addr + 8 * f
+                writes[accs + 2 * f + 1] = True
+            n_merge = self.p_merge_rmws(case)
+            if n_merge > 0:
+                maddr = merge_base + 8 * tid
+                m_a = np.full(2 * n_merge, maddr, dtype=np.int64)
+                m_w = np.zeros(2 * n_merge, dtype=bool)
+                m_w[1::2] = True
+                addrs = np.concatenate([addrs, m_a])
+                writes = np.concatenate([writes, m_w])
+            addrs, writes = with_sync(
+                addrs, writes, sync_word, self.p_sync_every(case)
+            )
+            threads.append(
+                ThreadTrace(
+                    addrs,
+                    writes,
+                    instr_per_access=max(1.0, ipa),
+                    extra_instructions=max(0, self.p_spin_instr(case, tid)),
+                )
+            )
+        return threads
+
+
+def mb(n: float) -> int:
+    """Megabytes to bytes (scaled-machine convention: divide real inputs
+    by 4 before calling, as problem sizes follow the 1:4 scaled caches)."""
+    return int(n * (1 << 20))
+
+
+def kb(n: float) -> int:
+    return int(n * 1024)

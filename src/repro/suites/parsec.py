@@ -1,0 +1,288 @@
+"""PARSEC benchmark models (paper Section 4.2, Tables 5, 8-10).
+
+``streamcluster`` carries the suite's only significant false sharing: its
+source pads per-thread work structs to ``CACHE_LINE = 32`` bytes, half a
+real line, so pairs of threads ping-pong (and fixing the constant to 64
+does not remove all of it — paper Section 4.3).  The model's false-sharing
+pressure falls with input size (bigger inputs spend more time streaming
+points per struct update), its per-thread working set exceeds L2 at the
+native input (bad memory access), and its barrier spin-waiting makes
+instruction counts — and therefore normalized event counts — nondeterministic
+at the smallest input with the most threads.
+
+The other ten programs are streaming/pipeline workloads with padded
+per-thread state: good, with realistic levels of benign sharing (canneal
+and fluidanimate get a trace of insignificant false sharing, which SHERIFF
+reported and the paper's detector rightly ignores).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.suites.common import ParamModel, kb
+
+
+class StreamCluster(ParamModel):
+    name = "streamcluster"
+    suite = "parsec"
+    inputs = ("simsmall", "simmedium", "simlarge", "native")
+    opts = ("-O1", "-O2", "-O3")
+    threads = (4, 8, 12)
+    verify_exclude_inputs = ("native",)  # the paper could not verify native
+    nondeterministic = True
+    description = "online clustering; CACHE_LINE=32 padding bug"
+
+    _POINTS: Dict[str, int] = {
+        "simsmall": 24_000,
+        "simmedium": 48_000,
+        "simlarge": 96_000,
+        "native": 200_000,
+    }
+    #: Per-input point-set footprint (scaled machine: L2 = 64 KiB).
+    _SET_BYTES: Dict[str, int] = {
+        "simsmall": kb(64),
+        "simmedium": kb(192),
+        "simlarge": kb(512),
+        "native": kb(4096),
+    }
+    #: Iterations between work-struct updates: larger inputs stream more
+    #: points per open-center bookkeeping update.
+    _ACC_PERIOD: Dict[str, int] = {
+        "simsmall": 20,
+        "simmedium": 80,
+        "simlarge": 410,
+        "native": 430,
+    }
+
+    def p_iters(self, case):
+        return max(1, self._POINTS[case.input_set] // case.threads)
+
+    def p_input_bytes(self, case):
+        return self._SET_BYTES[case.input_set] // 2
+
+    def p_acc_fields(self, case):
+        return 3  # cost, weight, assignment counters
+
+    def p_acc_stride(self, case):
+        return 32  # the CACHE_LINE=32 padding bug: two threads per real line
+
+    def p_acc_period(self, case):
+        period = self._ACC_PERIOD[case.input_set]
+        if case.opt == "-O1":
+            # -O1 already keeps most of the steady-state bookkeeping in
+            # registers, but unlike linear_regression the contended structs
+            # never go away at any level (Section 4.3: the -O2/-O3 rows of
+            # Table 8 are still bad-fs, and -O1's residual plus the merge
+            # phase keeps its oracle rate hovering around 1e-3).
+            period = int(period * 3.4)
+        return period
+
+    def p_merge_rmws(self, case):
+        return 40  # per-thread fold into the packed center-result block
+
+    def p_gather_period(self, case):
+        # The number of open centers — and with it the share of scattered
+        # distance computations per point — grows with the input scale.
+        return 1 if case.input_set == "native" else 8
+
+    def p_gather_bytes(self, case):
+        # Each thread repeatedly walks its share of the point set.
+        return max(kb(8), self._SET_BYTES[case.input_set] // case.threads)
+
+    def p_ipa(self, case):
+        return 2.6
+
+    def p_sync_every(self, case):
+        return 1024  # barrier-heavy program
+
+    def p_spin_instr(self, case, tid):
+        # Threads spin on barriers when work is scarce: worst at the smallest
+        # input spread over the most threads.  The spin time is scheduling
+        # luck — a large, run-to-run-variable instruction inflation that can
+        # push every normalized count below the learned thresholds (the
+        # unstable top-right cell of Table 8).
+        if case.input_set != "simsmall" or case.threads < 12:
+            return 0
+        rng = self.rng(case, "spin", tid)
+        iters = self.p_iters(case)
+        base = iters * 4
+        p_heavy = 0.5 if case.opt == "-O1" else 0.12
+        if rng.random() < p_heavy:
+            return int(base * rng.uniform(8.0, 14.0))
+        return int(base * rng.uniform(0.1, 0.6))
+
+
+class _GoodParsec(ParamModel):
+    """Shared shape for the ten well-behaved PARSEC programs."""
+
+    suite = "parsec"
+    inputs = ("simsmall", "simmedium", "simlarge", "native")
+    opts = ("-O1", "-O2", "-O3")
+    threads = (4, 8, 12)
+    # The shadow-memory verifier is ~5x slower than native execution; the
+    # paper skipped the "native" inputs for it throughout.
+    verify_exclude_inputs = ("native",)
+
+    _ITERS: Dict[str, int] = {
+        "simsmall": 24_000,
+        "simmedium": 48_000,
+        "simlarge": 96_000,
+        "native": 160_000,
+    }
+    acc_fields = 2
+    acc_period = 4
+    gather_period = 0
+    gather_kb = 16
+    gather_shared = False
+    ipa = 3.0
+    sync_every = 2048
+    #: None = padded (no false sharing); a byte value models packed state
+    #: whose update period is `fs_period` (insignificant false sharing).
+    fs_stride = None
+    fs_period = 0
+
+    def p_iters(self, case):
+        return max(1, self._ITERS[case.input_set] // case.threads)
+
+    def p_input_bytes(self, case):
+        return self._ITERS[case.input_set] * 4
+
+    def p_acc_fields(self, case):
+        return self.acc_fields
+
+    def p_acc_stride(self, case):
+        return self.fs_stride
+
+    def p_acc_period(self, case):
+        if self.fs_stride is not None and self.fs_period:
+            return self.fs_period
+        return self.acc_period
+
+    def p_gather_period(self, case):
+        return self.gather_period
+
+    def p_gather_bytes(self, case):
+        return kb(self.gather_kb)
+
+    def p_gather_shared(self, case):
+        return self.gather_shared
+
+    def p_ipa(self, case):
+        return self.ipa
+
+    def p_sync_every(self, case):
+        return self.sync_every
+
+
+class Ferret(_GoodParsec):
+    name = "ferret"
+    description = "similarity-search pipeline; queue hand-offs"
+    gather_period = 5
+    gather_kb = 16
+    gather_shared = True
+    sync_every = 640  # pipeline queues synchronize often
+    ipa = 3.4
+
+
+class Canneal(_GoodParsec):
+    name = "canneal"
+    description = "simulated annealing over a netlist; scattered reads"
+    gather_period = 8
+    gather_kb = 16
+    gather_shared = True
+    # SHERIFF reported insignificant false sharing here; model a rarely
+    # updated packed scratch pair.
+    fs_stride = 32
+    fs_period = 1400
+    ipa = 3.2
+
+
+class Fluidanimate(_GoodParsec):
+    name = "fluidanimate"
+    description = "SPH fluid simulation; grid-neighbour exchanges"
+    gather_period = 10
+    gather_kb = 12
+    fs_stride = 32
+    fs_period = 1600
+    ipa = 3.0
+
+
+class Swaptions(_GoodParsec):
+    name = "swaptions"
+    description = "Monte-Carlo swaption pricing; fully thread-private"
+    acc_period = 2
+    gather_period = 8
+    gather_kb = 8
+    ipa = 3.6
+
+
+class Vips(_GoodParsec):
+    name = "vips"
+    description = "image pipeline; tile streaming"
+    acc_period = 5
+    gather_period = 0
+    ipa = 2.9
+
+
+class Bodytrack(_GoodParsec):
+    name = "bodytrack"
+    description = "particle-filter body tracking; shared model reads"
+    gather_period = 6
+    gather_kb = 32
+    gather_shared = True
+    ipa = 3.3
+
+
+class Freqmine(_GoodParsec):
+    name = "freqmine"
+    description = "FP-growth mining; tree walks within cache reach"
+    # The paper could not run two of its verification cases (16 of 18).
+    verify_exclude_cases = (
+        ("simsmall", "-O1", 4),
+        ("simsmall", "-O1", 8),
+    )
+    gather_period = 6
+    gather_kb = 24
+    ipa = 3.5
+
+
+class Blackscholes(_GoodParsec):
+    name = "blackscholes"
+    description = "option pricing; embarrassingly parallel streaming"
+    acc_period = 6
+    sync_every = 8192
+    ipa = 3.1
+
+
+class Raytrace(_GoodParsec):
+    name = "raytrace"
+    description = "ray tracing; BVH reads shared read-only"
+    gather_period = 5
+    gather_kb = 24
+    gather_shared = True
+    ipa = 3.2
+
+
+class X264(_GoodParsec):
+    name = "x264"
+    description = "H.264 encoding; sliding-window streaming"
+    acc_period = 3
+    gather_period = 9
+    gather_kb = 24
+    ipa = 2.7
+
+
+PARSEC_PROGRAMS = (
+    Ferret,
+    Canneal,
+    Fluidanimate,
+    StreamCluster,
+    Swaptions,
+    Vips,
+    Bodytrack,
+    Freqmine,
+    Blackscholes,
+    Raytrace,
+    X264,
+)

@@ -1,0 +1,5 @@
+"""Analysis tools built on the substrate: the perf-c2c-style report."""
+
+from repro.tools.c2c import C2CLine, C2CReport, c2c_report
+
+__all__ = ["C2CLine", "C2CReport", "c2c_report"]

@@ -1,0 +1,28 @@
+"""Access-trace containers, pattern generators, and the interleaver."""
+
+from repro.trace.access import ProgramTrace, ThreadTrace, empty_thread, make_thread
+from repro.trace.generators import (
+    interleave_streams,
+    linear_indices,
+    permuted_indices,
+    random_indices,
+    strided_indices,
+    tiled_indices,
+)
+from repro.trace.streams import DEFAULT_CHUNK, MergedTrace, interleave
+
+__all__ = [
+    "ProgramTrace",
+    "ThreadTrace",
+    "empty_thread",
+    "make_thread",
+    "linear_indices",
+    "strided_indices",
+    "random_indices",
+    "permuted_indices",
+    "tiled_indices",
+    "interleave_streams",
+    "DEFAULT_CHUNK",
+    "MergedTrace",
+    "interleave",
+]

@@ -1,0 +1,92 @@
+"""Index-pattern generators for building access traces.
+
+The paper's sequential mini-programs (Section 2.2.2) access arrays in three
+ways — linear, random, and strided — and its "bad-ma" modes of the vector
+programs use the non-linear ones.  These helpers produce the index sequences;
+workloads map them to byte addresses through an :class:`ArrayLayout`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+def linear_indices(n: int, length: int) -> np.ndarray:
+    """``n`` sequential indices cycling over ``[0, length)``."""
+    _check(n, length)
+    if n <= length:
+        return np.arange(n, dtype=np.int64)
+    return np.arange(n, dtype=np.int64) % length
+
+
+def strided_indices(n: int, length: int, stride: int) -> np.ndarray:
+    """``n`` indices stepping by ``stride`` modulo ``length``.
+
+    A stride that is coprime with ``length`` eventually visits every element;
+    that matches the mini-programs, which perform the same computation in all
+    modes and differ only in visit order.
+    """
+    _check(n, length)
+    if stride <= 0:
+        raise TraceError("stride must be positive")
+    return (np.arange(n, dtype=np.int64) * stride) % length
+
+
+def random_indices(n: int, length: int, rng: np.random.Generator) -> np.ndarray:
+    """``n`` uniformly random indices in ``[0, length)``."""
+    _check(n, length)
+    return rng.integers(0, length, size=n, dtype=np.int64)
+
+
+def permuted_indices(n: int, length: int, rng: np.random.Generator) -> np.ndarray:
+    """A random permutation pattern: every element visited once per sweep.
+
+    Unlike :func:`random_indices` this preserves the "same computation"
+    property exactly — each sweep touches each element exactly once, just in
+    a cache-hostile order.
+    """
+    _check(n, length)
+    sweeps = -(-n // length)  # ceil
+    idx = np.concatenate([rng.permutation(length) for _ in range(sweeps)])
+    return idx[:n].astype(np.int64)
+
+
+def tiled_indices(n: int, length: int, tile: int) -> np.ndarray:
+    """Blocked traversal: visit ``tile`` consecutive elements, then jump.
+
+    Models loop-tiled matrix code (the "good" loop structure of the
+    sequential matrix-multiply mini-program).
+    """
+    _check(n, length)
+    if tile <= 0:
+        raise TraceError("tile must be positive")
+    i = np.arange(n, dtype=np.int64)
+    block = (i // tile) % max(1, length // tile)
+    return (block * tile + i % tile) % length
+
+
+def interleave_streams(*streams: np.ndarray) -> np.ndarray:
+    """Round-robin merge of equal-length index streams.
+
+    Used to model loop bodies that touch several arrays per iteration
+    (e.g. ``v1[i]``, ``v2[i]``, then ``psum[myid]`` in Figure 1).
+    """
+    if not streams:
+        raise TraceError("need at least one stream")
+    n = streams[0].size
+    for s in streams:
+        if s.size != n:
+            raise TraceError("streams must be equal length")
+    out = np.empty(n * len(streams), dtype=np.int64)
+    for k, s in enumerate(streams):
+        out[k :: len(streams)] = s
+    return out
+
+
+def _check(n: int, length: int) -> None:
+    if n < 0:
+        raise TraceError("n must be >= 0")
+    if length <= 0:
+        raise TraceError("length must be positive")

@@ -1,0 +1,76 @@
+"""Interleaving per-thread traces into one global access order.
+
+Real cores run concurrently; a trace-driven simulator needs a total order.
+We use chunked round-robin: each live thread issues ``chunk`` consecutive
+accesses before the next thread runs.  ``chunk`` models the window of
+accesses a core completes between coherence interactions — smaller chunks
+mean finer interleaving and more cache-line ping-pong under false sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.access import ProgramTrace
+
+#: Default interleave granularity.  Chosen so that a tight false-sharing loop
+#: (one store per ~10 instructions) yields a false-sharing miss rate in the
+#: 1e-2 range, matching the rates Zhao et al.'s tool reports for
+#: linear_regression (paper Table 7).
+DEFAULT_CHUNK = 4
+
+
+@dataclass(frozen=True)
+class MergedTrace:
+    """Column-oriented global access order: (core, addr, is_write) triples."""
+
+    core: np.ndarray
+    addr: np.ndarray
+    is_write: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.core.size)
+
+
+def interleave(program: ProgramTrace, chunk: int = DEFAULT_CHUNK) -> MergedTrace:
+    """Merge a program's thread traces into chunked round-robin order.
+
+    Threads of unequal length simply finish early: remaining threads keep
+    rotating.  The merge is stable within each thread (program order is
+    preserved per thread — the property coherence simulation depends on).
+    """
+    if chunk <= 0:
+        raise TraceError("chunk must be positive")
+    nt = program.nthreads
+    sizes = [t.n_accesses for t in program.threads]
+    total = sum(sizes)
+    if total == 0:
+        return MergedTrace(
+            np.empty(0, np.int16), np.empty(0, np.int64), np.empty(0, bool)
+        )
+    if nt == 1:
+        t = program.threads[0]
+        return MergedTrace(
+            np.zeros(t.n_accesses, np.int16), t.addrs.copy(), t.is_write.copy()
+        )
+
+    # Sort key: (round, thread, position) where round = position // chunk.
+    # np.lexsort sorts by last key first.
+    core_col = np.empty(total, np.int16)
+    pos_col = np.empty(total, np.int64)
+    addr_col = np.empty(total, np.int64)
+    wr_col = np.empty(total, bool)
+    off = 0
+    for tid, t in enumerate(program.threads):
+        n = t.n_accesses
+        sl = slice(off, off + n)
+        core_col[sl] = tid
+        pos_col[sl] = np.arange(n, dtype=np.int64)
+        addr_col[sl] = t.addrs
+        wr_col[sl] = t.is_write
+        off += n
+    order = np.lexsort((pos_col, core_col, pos_col // chunk))
+    return MergedTrace(core_col[order], addr_col[order], wr_col[order])

@@ -1,0 +1,22 @@
+"""Shared utilities: deterministic RNG, table rendering, statistics."""
+
+from repro.utils.charts import hbar_chart, series_chart, sparkline
+from repro.utils.rng import rng_for, spawn, stable_hash
+from repro.utils.stats import geometric_mean, majority, mean_ci, ratio, tally
+from repro.utils.tables import render_grid, render_table
+
+__all__ = [
+    "hbar_chart",
+    "series_chart",
+    "sparkline",
+    "rng_for",
+    "spawn",
+    "stable_hash",
+    "geometric_mean",
+    "majority",
+    "mean_ci",
+    "ratio",
+    "tally",
+    "render_grid",
+    "render_table",
+]

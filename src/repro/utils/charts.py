@@ -1,0 +1,106 @@
+"""Terminal charts for experiment output.
+
+The paper's figures are plots; the experiment harness is terminal-first, so
+these helpers render horizontal bar charts and multi-series line summaries
+in plain text.  No plotting dependency, deterministic output, fixed widths
+— safe to assert on in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+BAR_CHAR = "#"
+
+
+def hbar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: Optional[str] = None,
+    unit: str = "",
+    log: bool = False,
+) -> str:
+    """Horizontal bar chart, one row per (label, value).
+
+    ``log=True`` scales bars by log10 — useful when values span orders of
+    magnitude (e.g. false-sharing rates).
+    """
+    import math
+
+    if len(labels) != len(values):
+        raise ValueError("labels and values must be equal length")
+    if width < 4:
+        raise ValueError("width must be >= 4")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    out: List[str] = []
+    if title:
+        out.append(title)
+    if not values:
+        return "\n".join(out + ["(no data)"])
+
+    if log:
+        floor = min((v for v in values if v > 0), default=1.0)
+        scaled = [0.0 if v <= 0 else math.log10(v / floor) + 1.0
+                  for v in values]
+    else:
+        scaled = list(values)
+    peak = max(scaled) or 1.0
+    lab_w = max(len(str(l)) for l in labels)
+    for label, value, s in zip(labels, values, scaled):
+        bar = BAR_CHAR * max(1 if value > 0 else 0,
+                             round(width * s / peak))
+        out.append(f"{str(label):>{lab_w}} | {bar:<{width}} "
+                   f"{value:.4g}{unit}")
+    return "\n".join(out)
+
+
+def series_chart(
+    x_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 48,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bars: one group per x value, one bar per series.
+
+    Renders Table-1-like data ("time vs thread count, three methods") in a
+    form where flat-vs-scaling rows are visible at a glance.
+    """
+    for name, vals in series.items():
+        if len(vals) != len(x_labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    out: List[str] = []
+    if title:
+        out.append(title)
+    flat = [v for vals in series.values() for v in vals]
+    if not flat:
+        return "\n".join(out + ["(no data)"])
+    if any(v < 0 for v in flat):
+        raise ValueError("bar values must be non-negative")
+    peak = max(flat) or 1.0
+    name_w = max(len(n) for n in series)
+    for i, x in enumerate(x_labels):
+        out.append(f"{x}:")
+        for name, vals in series.items():
+            v = vals[i]
+            bar = BAR_CHAR * max(1 if v > 0 else 0,
+                                 round(width * v / peak))
+            out.append(f"  {name:>{name_w}} | {bar:<{width}} "
+                       f"{v:.4g}{unit}")
+    return "\n".join(out)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: eight-level block characters."""
+    blocks = " .:-=+*#"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1,
+                   int((v - lo) / span * (len(blocks) - 1)))]
+        for v in values
+    )

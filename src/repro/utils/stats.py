@@ -1,0 +1,57 @@
+"""Small statistics helpers shared by experiments and tests."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; all values must be positive."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if (arr <= 0).any():
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def ratio(a: float, b: float, eps: float = 1e-12) -> float:
+    """max(a,b)/min(a,b) guarded against zero denominators.
+
+    This is the paper's "2x heuristic" comparator: how far apart two event
+    counts are, regardless of direction.
+    """
+    lo, hi = (a, b) if a <= b else (b, a)
+    if lo < 0:
+        raise ValueError("ratio requires non-negative values")
+    return hi / max(lo, eps)
+
+
+def majority(labels: Iterable[str]) -> str:
+    """Most frequent label; ties broken by lexicographic order for determinism."""
+    counts: Dict[str, int] = {}
+    for lab in labels:
+        counts[lab] = counts.get(lab, 0) + 1
+    if not counts:
+        raise ValueError("majority of empty sequence")
+    return max(sorted(counts), key=lambda k: counts[k])
+
+
+def tally(labels: Iterable[str]) -> Dict[str, int]:
+    """Count occurrences of each label."""
+    counts: Dict[str, int] = {}
+    for lab in labels:
+        counts[lab] = counts.get(lab, 0) + 1
+    return counts
+
+
+def mean_ci(values: Sequence[float], z: float = 1.96) -> Tuple[float, float]:
+    """Mean and half-width of a normal-approximation confidence interval."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("mean_ci of empty sequence")
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    return float(arr.mean()), float(z * arr.std(ddof=1) / np.sqrt(arr.size))

@@ -1,0 +1,67 @@
+"""Plain-text table rendering used by the experiment harness.
+
+Experiments print the same rows/columns as the paper's tables; this module
+keeps the formatting in one place so bench output stays uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    align_right: bool = True,
+) -> str:
+    """Render rows as an ASCII table with a header rule.
+
+    Column widths fit the widest cell; numeric cells are right-aligned by
+    default which matches how the paper prints count/time tables.
+    """
+    srows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    hdr = [str(h) for h in headers]
+    for r in srows:
+        if len(r) != len(hdr):
+            raise ValueError(f"row width {len(r)} != header width {len(hdr)}")
+    widths = [len(h) for h in hdr]
+    for r in srows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt(row: Sequence[str]) -> str:
+        cells = []
+        for c, w in zip(row, widths):
+            cells.append(c.rjust(w) if align_right else c.ljust(w))
+        return "| " + " | ".join(cells) + " |"
+
+    rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.extend([rule, fmt(hdr), rule])
+    out.extend(fmt(r) for r in srows)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def render_grid(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Sequence[Sequence[object]],
+    corner: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Render a labeled 2-D grid (e.g. input-set x thread-count tables)."""
+    if len(cells) != len(row_labels):
+        raise ValueError("cells must have one row per row label")
+    headers = [corner] + list(col_labels)
+    rows = [[rl] + list(cr) for rl, cr in zip(row_labels, cells)]
+    return render_table(headers, rows, title=title)

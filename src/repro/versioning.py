@@ -1,0 +1,9 @@
+"""Simulation versioning.
+
+``SIM_VERSION`` names the current semantics of the simulator + workload
+generators.  It is part of every on-disk cache filename, so editing the
+simulator or a trace generator (and bumping this) can never silently reuse
+stale cached results.
+"""
+
+SIM_VERSION = "v9"

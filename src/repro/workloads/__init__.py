@@ -1,0 +1,44 @@
+"""Mini-programs (Section 2.2) and the workload abstractions."""
+
+from repro.workloads.builder import BuiltWorkload, WorkloadBuilder
+from repro.workloads.base import (
+    LOOP_IPA,
+    PATTERNS,
+    Mode,
+    RunConfig,
+    Workload,
+    ordered_visit,
+    parse_mode,
+    partition,
+    stride_of,
+)
+from repro.workloads.mini_mt import MT_PROGRAMS
+from repro.workloads.mini_seq import SEQ_PROGRAMS
+from repro.workloads.registry import (
+    all_workloads,
+    get_workload,
+    mt_miniprograms,
+    register,
+    seq_miniprograms,
+)
+
+__all__ = [
+    "BuiltWorkload",
+    "WorkloadBuilder",
+    "LOOP_IPA",
+    "PATTERNS",
+    "Mode",
+    "RunConfig",
+    "Workload",
+    "ordered_visit",
+    "parse_mode",
+    "partition",
+    "stride_of",
+    "MT_PROGRAMS",
+    "SEQ_PROGRAMS",
+    "all_workloads",
+    "get_workload",
+    "mt_miniprograms",
+    "register",
+    "seq_miniprograms",
+]

@@ -1,0 +1,253 @@
+"""A declarative builder for custom workloads.
+
+Modeling your own application shouldn't require subclassing
+:class:`Workload`: most parallel loops decompose into the same ingredients
+the mini-programs and suite models use — streamed input, scattered lookups,
+per-thread accumulators (padded or packed), stack traffic, synchronization.
+The builder assembles those into a ready workload:
+
+    pool = (WorkloadBuilder("worker_pool", threads_hint=8)
+            .stream(elements=40_000, elem_size=8)
+            .accumulator(fields=2, packed=True, every=1)
+            .gather(table_bytes=32_768, every=6)
+            .sync(every=4096)
+            .build())
+    detector.classify(pool, RunConfig(threads=8, mode="bad-fs", size=40_000))
+
+``mode`` keeps its usual meaning: ``good`` pads the accumulators,
+``bad-fs`` packs them, ``bad-ma`` scrambles the stream order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.memory.allocator import BumpAllocator
+from repro.memory.layout import LINE_SIZE
+from repro.trace.access import ThreadTrace
+from repro.workloads.base import Mode, RunConfig, Workload, ordered_visit, partition
+from repro.workloads.builders import with_sync
+
+
+@dataclass(frozen=True)
+class _Stream:
+    elements: int
+    elem_size: int
+    shared: bool
+
+
+@dataclass(frozen=True)
+class _Accumulator:
+    fields: int
+    packed: bool
+    every: int
+    field_size: int
+
+
+@dataclass(frozen=True)
+class _Gather:
+    table_bytes: int
+    every: int
+    shared: bool
+
+
+class BuiltWorkload(Workload):
+    """The workload a :class:`WorkloadBuilder` produces."""
+
+    kind = "mt"
+    modes = frozenset({Mode.GOOD, Mode.BAD_FS, Mode.BAD_MA})
+
+    def __init__(self, name, stream, accumulators, gathers, sync_every,
+                 stack_every, ipa, threads_hint):
+        self.name = name
+        self._stream = stream
+        self._accumulators = tuple(accumulators)
+        self._gathers = tuple(gathers)
+        self._sync_every = sync_every
+        self._stack_every = stack_every
+        self._ipa = ipa
+        self.train_sizes = (stream.elements,) if stream else (16_384,)
+        self.description = f"user-built workload ({threads_hint} threads hint)"
+
+    def _generate(self, cfg: RunConfig) -> Sequence[ThreadTrace]:
+        alloc = BumpAllocator()
+        sync_word = alloc.alloc_line_aligned(64)
+
+        acc_bases = []
+        for acc in self._accumulators:
+            struct = acc.field_size * acc.fields
+            if acc.packed and cfg.mode is Mode.BAD_FS:
+                stride = struct
+            else:
+                stride = ((struct + LINE_SIZE - 1) // LINE_SIZE) * LINE_SIZE
+            acc_bases.append(
+                (alloc.alloc(stride * cfg.threads, align=64), stride)
+            )
+
+        stream = self._stream
+        n_elems = cfg.size if stream is None else max(cfg.size, cfg.threads)
+        elem = stream.elem_size if stream else 8
+        input_arr = alloc.alloc_array(elem, n_elems, align=64)
+
+        shared_tables = {}
+        threads = []
+        bounds = partition(n_elems, cfg.threads)
+        for tid, (start, stop) in enumerate(bounds):
+            span = max(stop - start, 1)
+            rng = self.rng(cfg, tid)
+            order = (start % n_elems) + ordered_visit(
+                span, cfg.mode, cfg.pattern, rng
+            )
+            pieces_a: List[np.ndarray] = [input_arr.addr(order % n_elems)]
+            pieces_w: List[np.ndarray] = [np.zeros(span, bool)]
+            it = np.arange(span, dtype=np.int64)
+
+            blocks = [(pieces_a[0], pieces_w[0])]
+            for g_i, g in enumerate(self._gathers):
+                if g.shared:
+                    table = shared_tables.get(g_i)
+                    if table is None:
+                        table = alloc.alloc_array(8, g.table_bytes // 8,
+                                                  align=64)
+                        shared_tables[g_i] = table
+                else:
+                    table = alloc.alloc_array(8, g.table_bytes // 8, align=64)
+                hit = it % g.every == g.every - 1
+                idx = rng.integers(0, table.length, size=int(hit.sum()))
+                g_addr = np.zeros(span, np.int64)
+                g_addr[hit] = table.addr(idx)
+                blocks.append(("gather", g_addr, None, hit))
+
+            for (base, stride), acc in zip(acc_bases, self._accumulators):
+                slot = base + tid * stride
+                hit = it % acc.every == acc.every - 1
+                blocks.append(("acc", slot, acc, hit))
+
+            if self._stack_every:
+                stack = alloc.alloc_line_aligned(64)
+                hit = it % self._stack_every == 0
+                blocks.append(("stack", stack, None, hit))
+
+            addrs, writes = _assemble(span, blocks)
+            addrs, writes = with_sync(addrs, writes, sync_word,
+                                      self._sync_every)
+            threads.append(ThreadTrace(addrs, writes,
+                                       instr_per_access=self._ipa))
+        return threads
+
+
+def _assemble(span: int, blocks) -> tuple:
+    """Interleave per-iteration access blocks into one stream."""
+    counts = np.ones(span, dtype=np.int64)  # the stream load
+    specs = []
+    for kind, payload, acc, hit in blocks[1:]:
+        if kind == "acc":
+            counts += 2 * acc.fields * hit.astype(np.int64)
+        elif kind == "stack":
+            counts += 2 * hit.astype(np.int64)
+        else:  # gather
+            counts += hit.astype(np.int64)
+        specs.append((kind, payload, acc, hit))
+    total = int(counts.sum())
+    addrs = np.empty(total, np.int64)
+    writes = np.zeros(total, bool)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    addrs[starts] = blocks[0][0]
+    pos = starts + 1
+    for kind, payload, acc, hit in specs:
+        hs = pos[hit]
+        if kind == "gather":
+            addrs[hs] = payload[hit]
+            pos = pos + hit.astype(np.int64)
+        elif kind == "stack":
+            addrs[hs] = payload
+            addrs[hs + 1] = payload
+            writes[hs + 1] = True
+            pos = pos + 2 * hit.astype(np.int64)
+        else:  # accumulator
+            for f in range(acc.fields):
+                off = payload + f * acc.field_size
+                addrs[hs + 2 * f] = off
+                addrs[hs + 2 * f + 1] = off
+                writes[hs + 2 * f + 1] = True
+            pos = pos + 2 * acc.fields * hit.astype(np.int64)
+    return addrs, writes
+
+
+class WorkloadBuilder:
+    """Fluent construction of :class:`BuiltWorkload` instances."""
+
+    def __init__(self, name: str, threads_hint: int = 4) -> None:
+        if not name:
+            raise ConfigError("workload needs a name")
+        self._name = name
+        self._threads_hint = threads_hint
+        self._stream: Optional[_Stream] = None
+        self._accumulators: List[_Accumulator] = []
+        self._gathers: List[_Gather] = []
+        self._sync_every = 2048
+        self._stack_every = 1
+        self._ipa = 3.0
+
+    def stream(self, elements: int, elem_size: int = 4,
+               shared: bool = True) -> "WorkloadBuilder":
+        """Linear pass over an input array, split across threads."""
+        if elements < 1 or elem_size < 1:
+            raise ConfigError("stream needs positive elements and elem_size")
+        self._stream = _Stream(elements, elem_size, shared)
+        return self
+
+    def accumulator(self, fields: int = 1, packed: bool = True,
+                    every: int = 1, field_size: int = 8) -> "WorkloadBuilder":
+        """Per-thread read-modify-write state.
+
+        ``packed=True`` makes bad-fs mode pack the per-thread structs into
+        shared cache lines (the bug); good mode always pads.
+        """
+        if fields < 1 or every < 1 or field_size < 1:
+            raise ConfigError("accumulator parameters must be positive")
+        self._accumulators.append(_Accumulator(fields, packed, every,
+                                               field_size))
+        return self
+
+    def gather(self, table_bytes: int, every: int,
+               shared: bool = False) -> "WorkloadBuilder":
+        """Scattered lookups into a table (hash probes, pointer chasing)."""
+        if table_bytes < 64 or every < 1:
+            raise ConfigError("gather needs table_bytes >= 64 and every >= 1")
+        self._gathers.append(_Gather(table_bytes, every, shared))
+        return self
+
+    def sync(self, every: int) -> "WorkloadBuilder":
+        """Accesses between truly-shared synchronization touches."""
+        if every < 1:
+            raise ConfigError("sync every must be positive")
+        self._sync_every = every
+        return self
+
+    def stack_traffic(self, every: int) -> "WorkloadBuilder":
+        """Iterations between hot private stack RMWs (0 disables)."""
+        if every < 0:
+            raise ConfigError("stack every must be >= 0")
+        self._stack_every = every
+        return self
+
+    def instructions_per_access(self, ipa: float) -> "WorkloadBuilder":
+        if ipa < 1.0:
+            raise ConfigError("ipa must be >= 1")
+        self._ipa = ipa
+        return self
+
+    def build(self) -> BuiltWorkload:
+        if self._stream is None:
+            raise ConfigError("a workload needs at least a stream()")
+        return BuiltWorkload(
+            self._name, self._stream, self._accumulators, self._gathers,
+            self._sync_every, self._stack_every, self._ipa,
+            self._threads_hint,
+        )

@@ -1,0 +1,338 @@
+"""The eight multi-threaded mini-programs of Section 2.2.1.
+
+Three scalar programs (psums, padding, false1), three vector programs
+(psumv, pdot, count), and two matrix programs (pmatmult, pmatcompare).
+Every thread repeatedly writes its own variable; in bad-fs mode those
+variables are packed into shared cache lines.  The vector and matrix
+programs additionally support bad-ma (hostile visit order).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.memory.allocator import BumpAllocator
+from repro.trace.access import ThreadTrace
+from repro.workloads.base import (
+    LOOP_IPA,
+    Mode,
+    RunConfig,
+    Workload,
+    ordered_visit,
+    partition,
+)
+from repro.workloads.builders import (
+    loop_body,
+    rmw,
+    stores,
+    thread_slots,
+    with_sync,
+)
+
+_ALL3 = frozenset({Mode.GOOD, Mode.BAD_FS, Mode.BAD_MA})
+_FS2 = frozenset({Mode.GOOD, Mode.BAD_FS})
+
+
+class _ScalarBase(Workload):
+    """Common machinery for the scalar programs: no vector data at all."""
+
+    kind = "mt"
+    modes = _FS2
+    train_sizes = (2_000, 6_000, 12_000)
+
+    #: Iterations between true-sharing sync touches; varied per program so
+    #: the training set sees a range of benign-sharing floors.
+    sync_every = 1024
+
+    def _generate(self, cfg: RunConfig) -> Sequence[ThreadTrace]:
+        alloc = BumpAllocator()
+        sync_word = alloc.alloc_line_aligned(64)
+        slots = thread_slots(alloc, cfg.threads, cfg.mode, self.slot_size)
+        threads = []
+        for tid in range(cfg.threads):
+            addrs, writes = self._body(slots[tid], cfg.size)
+            addrs, writes = with_sync(addrs, writes, sync_word, self.sync_every)
+            threads.append(ThreadTrace(addrs, writes, instr_per_access=self.ipa))
+        return threads
+
+    slot_size = 8
+    ipa = LOOP_IPA
+
+    def _body(self, slot: int, iters: int):
+        raise NotImplementedError
+
+
+class PSums(_ScalarBase):
+    """Each thread accumulates into its own scalar: ``psum[myid] += f(i)``."""
+
+    name = "psums"
+    description = "per-thread scalar accumulation (RMW loop)"
+    sync_every = 1024
+
+    def _body(self, slot: int, iters: int):
+        return rmw(slot, iters)
+
+
+class Padding(_ScalarBase):
+    """Two fields per thread in a struct array; padding decides the layout.
+
+    Each iteration updates both fields (``stats[myid].a``, ``stats[myid].b``),
+    doubling the per-line write pressure relative to psums.
+    """
+
+    name = "padding"
+    description = "per-thread two-field struct updates"
+    slot_size = 16
+    sync_every = 2048
+    ipa = 3.5
+
+    def _body(self, slot: int, iters: int):
+        a0, w0 = rmw(slot, iters)
+        a1, w1 = rmw(slot + 8, iters)
+        addrs = np.empty(4 * iters, dtype=np.int64)
+        writes = np.empty(4 * iters, dtype=bool)
+        addrs[0::4], addrs[1::4] = a0[0::2], a0[1::2]
+        addrs[2::4], addrs[3::4] = a1[0::2], a1[1::2]
+        writes[0::4], writes[1::4] = w0[0::2], w0[1::2]
+        writes[2::4], writes[3::4] = w1[0::2], w1[1::2]
+        return addrs, writes
+
+
+class False1(_ScalarBase):
+    """Store-only false sharing: ``flag[myid] = i`` in a tight loop."""
+
+    name = "false1"
+    description = "per-thread store-only flag updates"
+    sync_every = 1536
+    ipa = 2.5
+
+    def _body(self, slot: int, iters: int):
+        return stores(slot, iters)
+
+
+class _VectorBase(Workload):
+    """Vector programs: threads process contiguous shares of shared arrays.
+
+    ``cfg.size`` is the total element count; the arrays are read-shared
+    (benign), the accumulators are the false-sharing site, and bad-ma visits
+    each thread's share in a hostile order.
+    """
+
+    kind = "mt"
+    modes = _ALL3
+    train_sizes = (32_768, 98_304, 196_608)
+    #: extra problem size used only by some training-plan rows
+    extra_size = 393_216
+    elem_size = 4
+    n_arrays = 1
+    slot_op = "rmw"
+    sync_every = 2048
+    ipa = LOOP_IPA
+
+    def _generate(self, cfg: RunConfig) -> Sequence[ThreadTrace]:
+        alloc = BumpAllocator()
+        sync_word = alloc.alloc_line_aligned(64)
+        # Figure 1 declares `int psum[MAXTHREADS]`: 4-byte slots, so even 16
+        # threads' accumulators share a single 64-byte line when packed.
+        slots = thread_slots(alloc, cfg.threads, cfg.mode, elem_size=4)
+        arrays = [
+            alloc.alloc_array(self.elem_size, cfg.size, align=64)
+            for _ in range(self.n_arrays)
+        ]
+        threads = []
+        for tid, (start, stop) in enumerate(partition(cfg.size, cfg.threads)):
+            span = stop - start
+            if span == 0:
+                span = 1
+                start, stop = 0, 1
+            order = start + ordered_visit(
+                span, cfg.mode, cfg.pattern, self.rng(cfg, tid)
+            )
+            loads = [arr.addr(order) for arr in arrays]
+            addrs, writes = loop_body(loads, slots[tid], self._slot_op(order))
+            addrs, writes = with_sync(addrs, writes, sync_word, self.sync_every)
+            threads.append(ThreadTrace(addrs, writes, instr_per_access=self.ipa))
+        return threads
+
+    def _slot_op(self, order: np.ndarray) -> str:
+        return self.slot_op
+
+
+class PSumV(_VectorBase):
+    """Per-thread sum over a vector share: ``psum[myid] += v[i]``."""
+
+    name = "psumv"
+    description = "parallel vector sum with per-thread accumulators"
+    n_arrays = 1
+    ipa = 3.0
+
+
+class PDot(_VectorBase):
+    """Figure 1's parallel dot product: loads v1[i], v2[i], RMW psum[myid]."""
+
+    name = "pdot"
+    description = "parallel dot product (Figure 1)"
+    n_arrays = 2
+    ipa = 3.0
+
+
+class Count(_VectorBase):
+    """Conditional counting: ``if pred(a[i]) count[myid]++``.
+
+    The predicate holds for a fixed 1/64 of the indices (by index bits), so
+    all modes do identical work; the accumulator is touched only on
+    predicate-true iterations.  Its bad-fs mode is therefore *weak* false
+    sharing — rare contended writes — which anchors the low end of the
+    false-sharing intensity range the classifier must recognize (the
+    streamcluster end of the spectrum, not the pdot end).
+    """
+
+    name = "count"
+    description = "parallel predicate counting"
+    n_arrays = 1
+    ipa = 3.5
+
+    def _generate(self, cfg: RunConfig) -> Sequence[ThreadTrace]:
+        alloc = BumpAllocator()
+        sync_word = alloc.alloc_line_aligned(64)
+        slots = thread_slots(alloc, cfg.threads, cfg.mode, elem_size=4)
+        arr = alloc.alloc_array(self.elem_size, cfg.size, align=64)
+        threads = []
+        for tid, (start, stop) in enumerate(partition(cfg.size, cfg.threads)):
+            span = max(stop - start, 1)
+            order = start % cfg.size + ordered_visit(
+                span, cfg.mode, cfg.pattern, self.rng(cfg, tid)
+            )
+            hit = ((order & 63) == 1)  # predicate: rare (1/64) matches
+            # Loads of a[i] for every i; RMW of the slot only where hit.
+            base = arr.addr(order)
+            # Build per-iteration blocks vectorized: 1 load always, +2 on hit.
+            counts = 1 + 2 * hit.astype(np.int64)
+            total = int(counts.sum())
+            addrs = np.empty(total, dtype=np.int64)
+            writes = np.zeros(total, dtype=bool)
+            ends = np.cumsum(counts)
+            starts = ends - counts
+            addrs[starts] = base
+            hs = starts[hit]
+            addrs[hs + 1] = slots[tid]
+            addrs[hs + 2] = slots[tid]
+            writes[hs + 2] = True
+            addrs, writes = with_sync(addrs, writes, sync_word, self.sync_every)
+            threads.append(ThreadTrace(addrs, writes, instr_per_access=self.ipa))
+        return threads
+
+
+class PMatMult(Workload):
+    """Parallel matrix multiply, naive -O0 shape: ``C[i,j] += A[i,k]*B[k,j]``.
+
+    ``cfg.size`` is the matrix dimension n.  good: threads own contiguous
+    row blocks of C (private accumulator lines).  bad-fs: C is partitioned
+    element-cyclically, so adjacent C elements — same cache line — are
+    updated by different threads in the inner loop.  bad-ma: row-block
+    partition but the k loop runs in a hostile permuted order, wrecking
+    locality in A rows and B columns.
+    """
+
+    name = "pmatmult"
+    kind = "mt"
+    modes = _ALL3
+    train_sizes = (16, 24, 32)
+    description = "parallel matrix multiply"
+    ipa = 3.0
+    sync_every = 4096
+
+    def _generate(self, cfg: RunConfig) -> Sequence[ThreadTrace]:
+        n = cfg.size
+        alloc = BumpAllocator()
+        sync_word = alloc.alloc_line_aligned(64)
+        a = alloc.alloc_array(8, n * n, align=64)
+        b = alloc.alloc_array(8, n * n, align=64)
+        c = alloc.alloc_array(8, n * n, align=64)
+        total = n * n
+        if cfg.mode is Mode.BAD_FS:
+            owned = [np.arange(tid, total, cfg.threads, dtype=np.int64)
+                     for tid in range(cfg.threads)]
+        else:
+            owned = [np.arange(s, e, dtype=np.int64)
+                     for s, e in partition(total, cfg.threads)]
+        if cfg.mode is Mode.BAD_MA:
+            korder = ordered_visit(n, cfg.mode, cfg.pattern, self.rng(cfg))
+        else:
+            korder = np.arange(n, dtype=np.int64)
+
+        threads = []
+        for tid in range(cfg.threads):
+            cells = owned[tid]
+            if cells.size == 0:
+                cells = np.array([0], dtype=np.int64)
+            i = cells // n
+            j = cells % n
+            # Inner loop over k for each owned cell: 4 accesses per k.
+            nk = n
+            m = cells.size
+            a_idx = (i[:, None] * n + korder[None, :]).ravel()
+            b_idx = (korder[None, :] * n + j[:, None]).ravel()
+            c_addr = c.addr(cells)
+            addrs = np.empty(m * nk * 4, dtype=np.int64)
+            writes = np.zeros(m * nk * 4, dtype=bool)
+            addrs[0::4] = a.addr(a_idx)
+            addrs[1::4] = b.addr(b_idx)
+            addrs[2::4] = np.repeat(c_addr, nk)
+            addrs[3::4] = np.repeat(c_addr, nk)
+            writes[3::4] = True
+            addrs, writes = with_sync(addrs, writes, sync_word, self.sync_every)
+            threads.append(ThreadTrace(addrs, writes, instr_per_access=self.ipa))
+        return threads
+
+
+class PMatCompare(Workload):
+    """Parallel matrix compare: per-thread mismatch counters.
+
+    Each thread compares its share of element pairs of two n x n matrices and
+    counts mismatches (a fixed eighth of indices, by index bits, so work is
+    identical across modes).
+    """
+
+    name = "pmatcompare"
+    kind = "mt"
+    modes = _ALL3
+    train_sizes = (96, 144, 192)
+    description = "parallel matrix comparison"
+    ipa = 3.0
+    sync_every = 2048
+
+    def _generate(self, cfg: RunConfig) -> Sequence[ThreadTrace]:
+        n2 = cfg.size * cfg.size
+        alloc = BumpAllocator()
+        sync_word = alloc.alloc_line_aligned(64)
+        slots = thread_slots(alloc, cfg.threads, cfg.mode)
+        a = alloc.alloc_array(8, n2, align=64)
+        b = alloc.alloc_array(8, n2, align=64)
+        threads = []
+        for tid, (start, stop) in enumerate(partition(n2, cfg.threads)):
+            span = max(stop - start, 1)
+            order = start % n2 + ordered_visit(
+                span, cfg.mode, cfg.pattern, self.rng(cfg, tid)
+            )
+            mismatch = (order & 7) == 3  # deterministic 1/8 of indices
+            counts = 2 + 2 * mismatch.astype(np.int64)
+            total = int(counts.sum())
+            addrs = np.empty(total, dtype=np.int64)
+            writes = np.zeros(total, dtype=bool)
+            ends = np.cumsum(counts)
+            starts = ends - counts
+            addrs[starts] = a.addr(order)
+            addrs[starts + 1] = b.addr(order)
+            hs = starts[mismatch]
+            addrs[hs + 2] = slots[tid]
+            addrs[hs + 3] = slots[tid]
+            writes[hs + 3] = True
+            addrs, writes = with_sync(addrs, writes, sync_word, self.sync_every)
+            threads.append(ThreadTrace(addrs, writes, instr_per_access=self.ipa))
+        return threads
+
+
+MT_PROGRAMS = (PSums, Padding, False1, PSumV, PDot, Count, PMatMult, PMatCompare)

@@ -1,0 +1,148 @@
+"""The sequential mini-programs of Section 2.2.2.
+
+Three element-wise array programs (read / write / read-modify-write) and a
+sequential matrix multiply with selectable loop structure.  All expose only
+``good`` and ``bad-ma``: with one thread there is nothing to falsely share.
+The good/bad-ma pair performs the same element visits; only the order (and
+for matmul, the loop nest) differs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.memory.allocator import BumpAllocator
+from repro.trace.access import ThreadTrace
+from repro.workloads.base import (
+    Mode,
+    RunConfig,
+    Workload,
+    ordered_visit,
+)
+
+_SEQ_MODES = frozenset({Mode.GOOD, Mode.BAD_MA})
+
+
+class _SeqArrayBase(Workload):
+    """Element-wise pass over an array; ``cfg.size`` is the element count.
+
+    Sizes are chosen so the footprint exceeds L2 (and for the larger sizes
+    the DTLB reach), making the good/bad-ma contrast architectural rather
+    than accidental: 8-byte elements mean 96k elements = 768 KiB.
+    """
+
+    kind = "seq"
+    modes = _SEQ_MODES
+    train_sizes = (49_152, 131_072, 262_144)
+    elem_size = 8
+    ipa = 3.0
+    sweeps = 1
+
+    def _generate(self, cfg: RunConfig) -> Sequence[ThreadTrace]:
+        alloc = BumpAllocator()
+        arr = alloc.alloc_array(self.elem_size, cfg.size, align=64)
+        pieces_a = []
+        pieces_w = []
+        for s in range(self.sweeps):
+            order = ordered_visit(cfg.size, cfg.mode, cfg.pattern,
+                                  self.rng(cfg, s))
+            a, w = self._visit(arr.addr(order))
+            pieces_a.append(a)
+            pieces_w.append(w)
+        return [ThreadTrace(np.concatenate(pieces_a),
+                            np.concatenate(pieces_w),
+                            instr_per_access=self.ipa)]
+
+    def _visit(self, addrs: np.ndarray):
+        raise NotImplementedError
+
+
+class SeqRead(_SeqArrayBase):
+    """Read every element of an array."""
+
+    name = "seq_read"
+    description = "element-wise array read"
+
+    def _visit(self, addrs):
+        return addrs, np.zeros(addrs.size, dtype=bool)
+
+
+class SeqWrite(_SeqArrayBase):
+    """Write every element of an array."""
+
+    name = "seq_write"
+    description = "element-wise array write"
+    ipa = 2.5
+
+    def _visit(self, addrs):
+        return addrs, np.ones(addrs.size, dtype=bool)
+
+
+class SeqRMW(_SeqArrayBase):
+    """Read, modify, write back every element."""
+
+    name = "seq_rmw"
+    description = "element-wise read-modify-write"
+    ipa = 3.5
+
+    def _visit(self, addrs):
+        out_a = np.repeat(addrs, 2)
+        out_w = np.zeros(out_a.size, dtype=bool)
+        out_w[1::2] = True
+        return out_a, out_w
+
+
+class SeqMatMul(Workload):
+    """Sequential rectangular matmul: C[m,n] = A[m,K] x B[K,n], un-hoisted.
+
+    ``cfg.size`` is the inner dimension K; m and n are small and fixed so B
+    (K x n) is the large operand.  Both modes execute the identical 4-access
+    body ``load A[i,k]; load B[k,j]; load C[i,j]; store C[i,j]`` exactly
+    m*n*K times; only the loop nest differs:
+
+    * good   — (i, k, j): B is walked row-wise, unit stride;
+    * bad-ma — (i, j, k): B is walked column-wise, one cache line per access,
+      the classic hostile nest.
+    """
+
+    name = "seq_matmul"
+    kind = "seq"
+    modes = _SEQ_MODES
+    train_sizes = (2_048, 4_096, 8_192)
+    description = "sequential matrix multiply (loop-order study)"
+    ipa = 3.0
+    m_rows = 2
+    n_cols = 8
+
+    def _generate(self, cfg: RunConfig) -> Sequence[ThreadTrace]:
+        big_k = cfg.size
+        m, n = self.m_rows, self.n_cols
+        alloc = BumpAllocator()
+        a = alloc.alloc_array(8, m * big_k, align=64)
+        b = alloc.alloc_array(8, big_k * n, align=64)
+        c = alloc.alloc_array(8, m * n, align=64)
+        if cfg.mode is Mode.GOOD:
+            # (i, k, j): innermost j sweeps a row of B.
+            ii, kk, jj = np.meshgrid(
+                np.arange(m), np.arange(big_k), np.arange(n), indexing="ij"
+            )
+        else:
+            # (i, j, k): innermost k sweeps a column of B.
+            ii, jj, kk = np.meshgrid(
+                np.arange(m), np.arange(n), np.arange(big_k), indexing="ij"
+            )
+        ii, jj, kk = ii.ravel(), jj.ravel(), kk.ravel()
+        total = ii.size
+        addrs = np.empty(total * 4, dtype=np.int64)
+        writes = np.zeros(total * 4, dtype=bool)
+        addrs[0::4] = a.addr(ii * big_k + kk)
+        addrs[1::4] = b.addr(kk * n + jj)
+        addrs[2::4] = c.addr(ii * n + jj)
+        addrs[3::4] = c.addr(ii * n + jj)
+        writes[3::4] = True
+        return [ThreadTrace(addrs, writes, instr_per_access=self.ipa)]
+
+
+SEQ_PROGRAMS = (SeqRead, SeqWrite, SeqRMW, SeqMatMul)

@@ -1,0 +1,56 @@
+"""Workload registry: name -> instance lookup for minis and suites."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.mini_mt import MT_PROGRAMS
+from repro.workloads.mini_seq import SEQ_PROGRAMS
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    """Add a workload instance to the global registry."""
+    if not workload.name or workload.name == "abstract":
+        raise WorkloadError("workload must define a name")
+    if workload.name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload name: {workload.name}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads() -> List[Workload]:
+    """All registered workloads, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def mt_miniprograms() -> List[Workload]:
+    """The 8 multi-threaded mini-programs (training Part A)."""
+    return [w for w in _REGISTRY.values()
+            if w.kind == "mt" and w.name in _MT_NAMES]
+
+
+def seq_miniprograms() -> List[Workload]:
+    """The sequential mini-programs (training Part B)."""
+    return [w for w in _REGISTRY.values()
+            if w.kind == "seq" and w.name in _SEQ_NAMES]
+
+
+_MT_NAMES = frozenset(cls.name for cls in MT_PROGRAMS)
+_SEQ_NAMES = frozenset(cls.name for cls in SEQ_PROGRAMS)
+
+for _cls in MT_PROGRAMS + SEQ_PROGRAMS:
+    register(_cls())

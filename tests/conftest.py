@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Unit tests use hermetic labs (no disk cache).  A handful of heavier
+integration tests share the session-scoped ``mini_lab`` so its simulation
+cache amortizes across files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coherence.machine import MachineSpec, MulticoreMachine
+from repro.core.lab import Lab
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def machine():
+    """A fresh scaled-geometry machine for simulator unit tests."""
+    return MulticoreMachine(spec=SMALL_SPEC)
+
+
+#: Tiny but valid geometry: fast unit tests with real set/assoc behaviour.
+SMALL_SPEC = MachineSpec(
+    cores=4,
+    sockets=2,
+    l1_kib=4,
+    l1_assoc=4,
+    l2_kib=16,
+    l2_assoc=8,
+    l3_mib=1,
+    l3_assoc=16,
+    tlb_entries=8,
+    name="unit-test-spec",
+)
+
+
+@pytest.fixture
+def small_spec():
+    return SMALL_SPEC
+
+
+@pytest.fixture(scope="session")
+def mini_lab():
+    """Session-shared lab over the scaled Westmere (in-memory cache only)."""
+    return Lab(disk_cache=None)
+
+
+@pytest.fixture
+def hermetic_lab():
+    return Lab(disk_cache=None)

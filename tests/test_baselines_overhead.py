@@ -1,0 +1,53 @@
+"""Tests for the overhead comparison."""
+
+import pytest
+
+from repro.baselines.overhead import OverheadReport, overhead_report
+from repro.coherence.machine import MachineSpec, SimulationResult
+from repro.pmu.events import TABLE2_EVENTS
+
+
+def result(seconds=1.0):
+    return SimulationResult(
+        counts={"INST_RETIRED.ANY": 1e6},
+        cycles_per_core=[1e9],
+        instructions_per_core=[10**6],
+        seconds=seconds,
+        nthreads=1,
+        spec=MachineSpec(),
+    )
+
+
+class TestOverheadReport:
+    def test_counting_under_two_percent(self):
+        rep = overhead_report(result(), TABLE2_EVENTS)
+        assert rep.counting_overhead < 0.02
+
+    def test_ordering_of_approaches(self):
+        rep = overhead_report(result(), TABLE2_EVENTS)
+        assert (rep.counting_seconds
+                < rep.sheriff_seconds
+                < rep.shadow_seconds)
+
+    def test_sheriff_about_twenty_percent(self):
+        rep = overhead_report(result(), TABLE2_EVENTS)
+        assert 1.1 < rep.sheriff_slowdown < 1.3
+
+    def test_shadow_about_5x(self):
+        rep = overhead_report(result(), TABLE2_EVENTS)
+        assert 4.0 < rep.shadow_slowdown < 6.0
+
+    def test_seconds_scale_with_base(self):
+        rep = overhead_report(result(seconds=2.0), TABLE2_EVENTS)
+        assert rep.counting_seconds == pytest.approx(
+            2.0 * (1 + rep.counting_overhead))
+
+    def test_as_dict_keys(self):
+        d = overhead_report(result(), TABLE2_EVENTS).as_dict()
+        assert set(d) == {"base_seconds", "counting_pct", "sheriff_pct",
+                          "shadow_factor"}
+
+    def test_fewer_events_cheaper(self):
+        few = overhead_report(result(), TABLE2_EVENTS[:3])
+        many = overhead_report(result(), TABLE2_EVENTS)
+        assert few.counting_overhead < many.counting_overhead

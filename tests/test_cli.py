@@ -1,0 +1,72 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.cli import detect_main, experiment_main, perf_main, train_main
+
+
+class TestPerfList:
+    def test_list_shows_workloads_and_events(self, capsys):
+        assert perf_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pdot" in out
+        assert "streamcluster" in out
+        assert "Snoop_Response.HIT_M" in out
+
+
+class TestPerfStat:
+    def test_stat_mini_program(self, capsys):
+        rc = perf_main(["stat", "psums", "-t", "3", "-n", "1500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Instructions_Retired" in out
+        assert "counting overhead" in out
+
+    def test_stat_raw_counts(self, capsys):
+        rc = perf_main(["stat", "psums", "-t", "3", "-n", "1500", "--raw"])
+        assert rc == 0
+        assert "raw count" in capsys.readouterr().out
+
+    def test_stat_custom_events(self, capsys):
+        rc = perf_main(["stat", "psums", "-t", "3", "-n", "1500",
+                        "-e", "Snoop_Response.HIT_M,Instructions_Retired"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Snoop_Response.HIT_M" in out
+        assert "DTLB" not in out
+
+    def test_stat_suite_program(self, capsys):
+        # argparse cannot take "-O2" as a separate token; the CLI accepts
+        # the dashless form (or --opt=-O2)
+        rc = perf_main(["stat", "blackscholes", "-t", "4",
+                        "--input", "simsmall", "--opt", "O2"])
+        assert rc == 0
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        rc = perf_main(["stat", "nonesuch"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_event_fails_cleanly(self, capsys):
+        rc = perf_main(["stat", "psums", "-e", "Bogus_Event"])
+        assert rc == 2
+
+    def test_bad_mode_fails_cleanly(self, capsys):
+        rc = perf_main(["stat", "psums", "-m", "awful"])
+        assert rc == 2
+
+
+class TestExperimentCLI:
+    def test_no_args_lists_experiments(self, capsys):
+        assert experiment_main([]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+        assert "figure2" in out
+
+    def test_run_table1(self, capsys):
+        assert experiment_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Method" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert experiment_main(["tableX"]) == 2

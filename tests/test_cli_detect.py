@@ -1,0 +1,76 @@
+"""Tests for repro-detect, with a stubbed (fast) pipeline context."""
+
+import pytest
+
+from repro import cli
+from repro.core.lab import Lab
+
+
+class _StubContext:
+    def __init__(self, detector):
+        self.detector = detector
+        self.lab = detector.lab
+
+
+@pytest.fixture
+def stub_context(monkeypatch):
+    from tests.test_core_detector import MINI_PLAN_A, MINI_PLAN_B
+    from repro.core.detector import FalseSharingDetector
+    from repro.core.training import (ScreeningReport, TrainingData,
+                                     collect_plan)
+
+    lab = Lab(disk_cache=None)
+    a = collect_plan(lab, MINI_PLAN_A, "A")
+    b = collect_plan(lab, MINI_PLAN_B, "B")
+    td = TrainingData(a, b, a, b, ScreeningReport(a, [], {}),
+                      ScreeningReport(b, [], {}))
+    det = FalseSharingDetector(lab).fit(training=td)
+    ctx = _StubContext(det)
+
+    import repro.experiments.context as context_mod
+
+    monkeypatch.setattr(context_mod, "default_context", lambda: ctx)
+    return ctx
+
+
+class TestDetect:
+    def test_bad_fs_run_exits_nonzero(self, stub_context, capsys):
+        rc = cli.detect_main(["pdot", "-m", "bad-fs", "-t", "4",
+                              "-n", "65536"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "bad-fs" in out
+        assert "false sharing detected" in out
+
+    def test_good_run_exits_zero(self, stub_context, capsys):
+        rc = cli.detect_main(["pdot", "-m", "good", "-t", "4", "-n", "65536"])
+        assert rc == 0
+        assert "no memory-system problem" in capsys.readouterr().out
+
+    def test_bad_ma_message(self, stub_context, capsys):
+        rc = cli.detect_main(["seq_write", "-m", "bad-ma", "-t", "1",
+                              "-n", "65536"])
+        assert rc == 1
+        assert "cache-hostile" in capsys.readouterr().out
+
+    def test_slices_flag(self, stub_context, capsys):
+        rc = cli.detect_main(["pdot", "-m", "bad-fs", "-t", "4",
+                              "-n", "65536", "--slices", "4"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "Time-sliced diagnosis" in out
+        assert "overall: bad-fs" in out
+
+    def test_advise_flag(self, stub_context, capsys):
+        rc = cli.detect_main(["pdot", "-m", "bad-fs", "-t", "4",
+                              "-n", "65536", "--advise"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "Falsely shared cache lines" in out
+        assert "estimated effect of padding" in out
+
+    def test_advise_on_good_run(self, stub_context, capsys):
+        rc = cli.detect_main(["pdot", "-m", "good", "-t", "4",
+                              "-n", "65536", "--advise"])
+        assert rc == 0
+        assert "no false sharing to fix" in capsys.readouterr().out

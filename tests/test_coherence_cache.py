@@ -1,0 +1,131 @@
+"""Tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.cache import SetAssociativeCache
+from repro.coherence.protocol import EXCLUSIVE, MODIFIED, SHARED
+from repro.errors import SimulationError
+
+
+def make_cache(lines=32, assoc=4):
+    return SetAssociativeCache(lines, assoc, "t")
+
+
+class TestBasics:
+    def test_geometry(self):
+        c = make_cache(32, 4)
+        assert c.nsets == 8
+        assert c.assoc == 4
+
+    def test_insert_lookup(self):
+        c = make_cache()
+        c.insert(5, SHARED)
+        assert c.lookup(5) == SHARED
+        assert 5 in c
+
+    def test_lookup_absent(self):
+        assert make_cache().lookup(1) is None
+
+    def test_set_state(self):
+        c = make_cache()
+        c.insert(5, SHARED)
+        c.set_state(5, MODIFIED)
+        assert c.lookup(5) == MODIFIED
+
+    def test_set_state_absent_raises(self):
+        with pytest.raises(SimulationError):
+            make_cache().set_state(5, MODIFIED)
+
+    def test_remove(self):
+        c = make_cache()
+        c.insert(5, EXCLUSIVE)
+        assert c.remove(5) == EXCLUSIVE
+        assert 5 not in c
+        assert c.remove(5) is None
+
+    def test_len_counts_all_sets(self):
+        c = make_cache(32, 4)
+        for line in range(10):
+            c.insert(line, SHARED)
+        assert len(c) == 10
+
+    def test_clear(self):
+        c = make_cache()
+        c.insert(1, SHARED)
+        c.clear()
+        assert len(c) == 0
+
+    def test_lines_iterates_contents(self):
+        c = make_cache()
+        c.insert(1, SHARED)
+        c.insert(9, MODIFIED)
+        assert dict(c.lines()) == {1: SHARED, 9: MODIFIED}
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(SimulationError):
+            SetAssociativeCache(30, 4)  # not a multiple
+        with pytest.raises(SimulationError):
+            SetAssociativeCache(0, 4)
+        with pytest.raises(SimulationError):
+            SetAssociativeCache(16, 0)
+
+    def test_non_pow2_sets_use_modulo(self):
+        c = SetAssociativeCache(48, 4)  # 12 sets
+        assert c.mask == 0
+        c.insert(13, SHARED)
+        assert c.lookup(13) == SHARED
+        assert c.index(13) == 1
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        c = make_cache(32, 2)  # 16 sets, 2-way
+        # lines 0, 16, 32 all map to set 0
+        c.insert(0, SHARED)
+        c.insert(16, SHARED)
+        ev = c.insert(32, SHARED)
+        assert ev == (0, SHARED)
+        assert 0 not in c and 16 in c and 32 in c
+
+    def test_touch_refreshes_lru(self):
+        c = make_cache(32, 2)
+        c.insert(0, SHARED)
+        c.insert(16, SHARED)
+        c.touch(0)
+        ev = c.insert(32, SHARED)
+        assert ev == (16, SHARED)
+
+    def test_reinsert_no_eviction(self):
+        c = make_cache(32, 2)
+        c.insert(0, SHARED)
+        c.insert(16, SHARED)
+        assert c.insert(0, MODIFIED) is None
+        assert c.lookup(0) == MODIFIED
+
+    def test_eviction_returns_state(self):
+        c = make_cache(32, 1)
+        c.insert(0, MODIFIED)
+        ev = c.insert(32, SHARED)
+        assert ev == (0, MODIFIED)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=300))
+    def test_occupancy_invariants(self, lines):
+        c = make_cache(32, 4)
+        for line in lines:
+            c.insert(line, SHARED)
+        assert len(c) <= 32
+        for s in c.sets:
+            assert len(s) <= 4
+        # the most recent insertion is always resident
+        assert lines[-1] in c
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=100))
+    def test_small_working_set_never_evicted(self, lines):
+        # 8 distinct lines spread over 8 sets of a 32-line cache: all fit.
+        c = make_cache(32, 4)
+        for line in lines:
+            c.insert(line, SHARED)
+        assert len(c) == len(set(lines))

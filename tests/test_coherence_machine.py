@@ -1,0 +1,229 @@
+"""Tests for the multicore machine: events, coherence, timing."""
+
+import numpy as np
+import pytest
+
+from repro.coherence.machine import (
+    MachineSpec,
+    MulticoreMachine,
+    SCALED_WESTMERE,
+    WESTMERE_SPEC,
+)
+from repro.errors import SimulationError
+from repro.trace.access import ProgramTrace, make_thread
+
+from tests.conftest import SMALL_SPEC
+
+
+def run(machine, threads, chunk=4):
+    return machine.run(ProgramTrace(threads), chunk=chunk)
+
+
+def rmw_thread(addr, n, ipa=3.0):
+    addrs = np.empty(2 * n, np.int64)
+    writes = np.zeros(2 * n, bool)
+    addrs[:] = addr
+    writes[1::2] = True
+    return make_thread(addrs, writes, instr_per_access=ipa)
+
+
+def stream_thread(base, n, step=8):
+    return make_thread(base + np.arange(n, dtype=np.int64) * step)
+
+
+class TestSpecs:
+    def test_westmere_defaults(self):
+        assert WESTMERE_SPEC.cores == 12
+        assert WESTMERE_SPEC.l1_lines == 512
+        assert WESTMERE_SPEC.l2_lines == 4096
+        assert WESTMERE_SPEC.cores_per_socket == 6
+
+    def test_scaled_geometry_ratio(self):
+        assert WESTMERE_SPEC.l1_kib == SCALED_WESTMERE.l1_kib * 4
+        assert WESTMERE_SPEC.l2_kib == SCALED_WESTMERE.l2_kib * 4
+
+    def test_socket_of(self):
+        assert WESTMERE_SPEC.socket_of(0) == 0
+        assert WESTMERE_SPEC.socket_of(6) == 1
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(SimulationError):
+            MachineSpec(cores=5, sockets=2)
+        with pytest.raises(SimulationError):
+            MachineSpec(l1_kib=0)
+        with pytest.raises(SimulationError):
+            MachineSpec(freq_ghz=0)
+
+
+class TestSingleCore:
+    def test_cold_misses_counted(self, machine):
+        r = run(machine, [stream_thread(4096, 16, step=64)])
+        assert r.counts["L1D.REPL"] == 16
+
+    def test_repeat_hits_not_misses(self, machine):
+        t = make_thread(np.full(100, 4096, dtype=np.int64))
+        r = run(machine, [t])
+        assert r.counts["L1D.REPL"] == 1
+
+    def test_instructions_accounted(self, machine):
+        t = make_thread(np.full(10, 4096, dtype=np.int64),
+                        instr_per_access=4.0)
+        r = run(machine, [t])
+        assert r.instructions == 40
+
+    def test_dtlb_misses_on_page_walks(self, machine):
+        # touch 20 distinct pages with an 8-entry TLB
+        t = make_thread(np.arange(20, dtype=np.int64) * 4096 + 4096)
+        r = run(machine, [t])
+        assert r.counts["DTLB_MISSES.ANY"] == 20
+
+    def test_tlb_capacity_rewalk(self, machine):
+        # cycle over 16 pages twice: second pass misses again (8 entries)
+        pages = np.tile(np.arange(16, dtype=np.int64), 2) * 4096 + 4096
+        r = run(machine, [make_thread(pages)])
+        assert r.counts["DTLB_MISSES.ANY"] == 32
+
+    def test_l2_capacity_misses(self, machine):
+        # stream far beyond L2 (16 KiB = 256 lines), twice
+        n = 1024
+        addrs = np.tile(np.arange(n, dtype=np.int64) * 64, 2) + (1 << 20)
+        r = machine.run(ProgramTrace([make_thread(addrs)]))
+        assert r.counts["L2_TRANSACTIONS.FILL"] >= 2 * n - 256
+
+    def test_prefetch_cheapens_linear_streams(self, small_spec):
+        noisy = MulticoreMachine(small_spec, prefetch=False)
+        quick = MulticoreMachine(small_spec, prefetch=True)
+        t = lambda: [stream_thread(1 << 20, 512, step=64)]
+        slow = noisy.run(ProgramTrace(t()))
+        fast = quick.run(ProgramTrace(t()))
+        assert fast.seconds < slow.seconds
+        assert fast.counts["L1D_PREFETCH.REQUESTS"] > 400
+
+    def test_seconds_positive_and_scaled(self, machine):
+        r = run(machine, [stream_thread(4096, 1000)])
+        assert r.seconds > 0
+        assert r.cycles >= r.instructions * machine.spec.base_cpi * 0.99
+
+
+class TestCoherence:
+    def test_ping_pong_generates_hitm(self, machine):
+        t0 = rmw_thread(4096, 500)
+        t1 = rmw_thread(4104, 500)  # same line, different word
+        r = run(machine, [t0, t1])
+        assert r.counts["SNOOP_RESPONSE.HITM"] > 200
+        assert r.counts["L2_WRITE.RFO.S_STATE"] > 200
+
+    def test_padded_threads_no_hitm(self, machine):
+        t0 = rmw_thread(4096, 500)
+        t1 = rmw_thread(4096 + 64, 500)  # next line
+        r = run(machine, [t0, t1])
+        assert r.counts["SNOOP_RESPONSE.HITM"] == 0
+
+    def test_single_thread_never_snoops(self, machine):
+        r = run(machine, [rmw_thread(4096, 500)])
+        for k in ("SNOOP_RESPONSE.HIT", "SNOOP_RESPONSE.HITE",
+                  "SNOOP_RESPONSE.HITM"):
+            assert r.counts[k] == 0
+
+    def test_read_sharing_uses_hite_then_hit(self, machine):
+        # three threads read the same line; no writes anywhere
+        t = lambda: make_thread(np.full(50, 4096, dtype=np.int64))
+        r = run(machine, [t(), t(), t()], chunk=8)
+        assert r.counts["SNOOP_RESPONSE.HITM"] == 0
+        assert r.counts["SNOOP_RESPONSE.HITE"] >= 1
+        assert r.counts["SNOOP_RESPONSE.HIT"] >= 1
+
+    def test_true_sharing_also_hitms(self, machine):
+        # same word written by both: true sharing also ping-pongs (the PMU
+        # cannot tell true from false sharing; the classifier never needs
+        # to — both are genuine coherence traffic)
+        t0 = rmw_thread(4096, 300)
+        t1 = rmw_thread(4096, 300)
+        r = run(machine, [t0, t1])
+        assert r.counts["SNOOP_RESPONSE.HITM"] > 100
+
+    def test_prefetch_never_breaks_coherence(self, small_spec):
+        """Regression: a next-line prefetch must not blind-install E over a
+        line another core holds Modified (this silently killed the false-
+        sharing signature for struct-packed layouts)."""
+        m = MulticoreMachine(small_spec, prefetch=True)
+        # Thread 1 sweeps lines L..L+9 (reads) 50 times; thread 0 keeps
+        # RMW-ing a word on L+1.  Every sweep must re-steal the hot line
+        # with a HITM; the buggy prefetch installed it Exclusive once and
+        # the ping-pong silently stopped.
+        base = 1 << 16
+        hot = base + 64
+        t0 = rmw_thread(hot, 2000)
+        sweep = stream_thread(base, 80, step=8).addrs  # 10 lines x 8 words
+        t1 = make_thread(np.concatenate([sweep] * 50))
+        r = run(m, [t0, t1])
+        assert r.counts["SNOOP_RESPONSE.HITM"] >= 40
+
+    def test_writeback_on_dirty_eviction(self, machine):
+        # write many lines mapping beyond L2 capacity
+        n = 2048
+        addrs = np.arange(n, dtype=np.int64) * 64 + (1 << 20)
+        t = make_thread(addrs, np.ones(n, bool))
+        r = run(machine, [t])
+        assert r.counts["L2_LINES_OUT.DEMAND_DIRTY"] > 0
+        assert r.counts["L2_WRITEBACKS"] > 0
+
+    def test_clean_eviction_counted(self, machine):
+        n = 2048
+        addrs = np.arange(n, dtype=np.int64) * 64 + (1 << 20)
+        r = run(MulticoreMachine(machine.spec, prefetch=False),
+                [make_thread(addrs)])
+        assert r.counts["L2_LINES_OUT.DEMAND_CLEAN"] > 0
+
+
+class TestTiming:
+    def test_false_sharing_slower_than_padded(self, machine):
+        shared = run(machine, [rmw_thread(4096, 2000),
+                               rmw_thread(4104, 2000)])
+        padded = run(machine, [rmw_thread(4096, 2000),
+                               rmw_thread(4096 + 64, 2000)])
+        assert shared.seconds > 2 * padded.seconds
+
+    def test_remote_socket_hitm_costlier(self, small_spec):
+        m = MulticoreMachine(small_spec)
+        # cores 0,1 share a socket; 0,2 do not (4 cores / 2 sockets)
+        same = m.run(ProgramTrace([rmw_thread(4096, 1000),
+                                   rmw_thread(4104, 1000)]))
+        t0 = rmw_thread(4096, 1000)
+        idle = make_thread(np.full(1000 * 2, 1 << 21, dtype=np.int64))
+        t2 = rmw_thread(4104, 1000)
+        cross = m.run(ProgramTrace([t0, idle, t2]))
+        assert cross.counts["SNOOP_HITM_REMOTE_SOCKET"] > 0
+        assert same.counts["SNOOP_HITM_REMOTE_SOCKET"] == 0
+
+
+class TestValidation:
+    def test_too_many_threads_rejected(self, machine):
+        threads = [rmw_thread(4096 + 64 * i, 4) for i in range(5)]
+        with pytest.raises(SimulationError):
+            run(machine, threads)  # SMALL_SPEC has 4 cores
+
+    def test_normalized_requires_instructions(self, machine):
+        r = run(machine, [stream_thread(4096, 10)])
+        assert r.normalized("L1D.REPL") > 0
+
+    def test_derived_counts_present(self, machine):
+        r = run(machine, [stream_thread(4096, 100)])
+        for key in ("BR_INST_RETIRED.ALL_BRANCHES", "UOPS_RETIRED.ANY",
+                    "MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM"):
+            assert key in r.counts
+
+    def test_meta_propagated(self, machine):
+        prog = ProgramTrace([stream_thread(4096, 4)], name="n",
+                            meta={"workload": "w"})
+        r = machine.run(prog)
+        assert r.name == "n"
+        assert r.meta["workload"] == "w"
+
+    def test_determinism(self, machine):
+        prog = lambda: ProgramTrace([rmw_thread(4096, 200),
+                                     rmw_thread(4104, 200)])
+        a = machine.run(prog())
+        b = machine.run(prog())
+        assert a.counts == b.counts
+        assert a.seconds == b.seconds

@@ -1,0 +1,86 @@
+"""Tests for MESI protocol rules."""
+
+import pytest
+
+from repro.coherence.protocol import (
+    EXCLUSIVE,
+    INVALID,
+    MODIFIED,
+    SHARED,
+    fill_state,
+    holder_reaction,
+    snoop_response_kind,
+    state_name,
+    write_upgrade,
+)
+
+
+class TestStateNames:
+    def test_all_states_named(self):
+        assert state_name(INVALID) == "I"
+        assert state_name(SHARED) == "S"
+        assert state_name(EXCLUSIVE) == "E"
+        assert state_name(MODIFIED) == "M"
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            state_name(42)
+
+    def test_strength_ordering(self):
+        # max() over holder states must pick the authoritative responder.
+        assert MODIFIED > EXCLUSIVE > SHARED > INVALID
+
+
+class TestFillState:
+    def test_write_always_modified(self):
+        assert fill_state(True, False) == MODIFIED
+        assert fill_state(True, True) == MODIFIED
+
+    def test_read_alone_gets_exclusive(self):
+        assert fill_state(False, False) == EXCLUSIVE
+
+    def test_read_with_sharer_gets_shared(self):
+        assert fill_state(False, True) == SHARED
+
+
+class TestHolderReaction:
+    def test_rfo_invalidates_everyone(self):
+        for st in (SHARED, EXCLUSIVE, MODIFIED):
+            new, wb = holder_reaction(st, requester_writes=True)
+            assert new == INVALID
+            assert wb == (st == MODIFIED)
+
+    def test_read_downgrades_m_with_writeback(self):
+        assert holder_reaction(MODIFIED, False) == (SHARED, True)
+
+    def test_read_downgrades_e_silently(self):
+        assert holder_reaction(EXCLUSIVE, False) == (SHARED, False)
+
+    def test_read_leaves_s(self):
+        assert holder_reaction(SHARED, False) == (SHARED, False)
+
+    def test_invalid_holder_stays_invalid(self):
+        assert holder_reaction(INVALID, True) == (INVALID, False)
+
+
+class TestWriteUpgrade:
+    def test_m_stays(self):
+        assert write_upgrade(MODIFIED) == (MODIFIED, False)
+
+    def test_e_upgrades_silently(self):
+        assert write_upgrade(EXCLUSIVE) == (MODIFIED, False)
+
+    def test_s_needs_rfo(self):
+        assert write_upgrade(SHARED) == (MODIFIED, True)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            write_upgrade(INVALID)
+
+
+class TestSnoopResponse:
+    def test_mapping(self):
+        assert snoop_response_kind(MODIFIED) == "hitm"
+        assert snoop_response_kind(EXCLUSIVE) == "hite"
+        assert snoop_response_kind(SHARED) == "hit"
+        assert snoop_response_kind(INVALID) == "miss"

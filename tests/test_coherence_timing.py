@@ -1,0 +1,70 @@
+"""Tests for the latency model."""
+
+import pytest
+
+from repro.coherence.timing import DEFAULT_LATENCY, LatencyModel
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        assert DEFAULT_LATENCY.l2_hit > 0
+
+    def test_overlap_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyModel(load_overlap=1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(store_overlap=-0.1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(memory=-1)
+        with pytest.raises(ValueError):
+            LatencyModel(hitm_local=-5)
+
+
+class TestHierarchyOrdering:
+    def test_latencies_ordered_by_distance(self):
+        lat = DEFAULT_LATENCY
+        assert lat.l2_hit < lat.l3_hit < lat.memory
+        assert lat.hitm_local < lat.hitm_remote
+
+    def test_dirty_transfer_costlier_than_clean(self):
+        lat = DEFAULT_LATENCY
+        assert lat.hitm_local > lat.snoop_clean
+
+
+class TestEffective:
+    def test_stores_hide_more_than_loads(self):
+        lat = DEFAULT_LATENCY
+        assert lat.effective(100, is_write=True) < lat.effective(100, False)
+
+    def test_effective_never_exceeds_penalty(self):
+        lat = DEFAULT_LATENCY
+        assert lat.effective(100, True) <= 100
+        assert lat.effective(100, False) <= 100
+
+    def test_zero_penalty(self):
+        assert DEFAULT_LATENCY.effective(0, True) == 0.0
+
+
+class TestHitm:
+    def test_socket_selection(self):
+        lat = DEFAULT_LATENCY
+        assert lat.hitm(same_socket=True) == lat.hitm_local
+        assert lat.hitm(same_socket=False) == lat.hitm_remote
+
+
+class TestContention:
+    def test_single_contender_unscaled(self):
+        lat = DEFAULT_LATENCY
+        assert lat.contended(100, 1) == 100
+        assert lat.contended(100, 0) == 100
+
+    def test_queueing_grows_linearly(self):
+        lat = LatencyModel(contention_factor=1.0)
+        assert lat.contended(100, 2) == pytest.approx(200)
+        assert lat.contended(100, 5) == pytest.approx(500)
+
+    def test_factor_scales_queueing(self):
+        lat = LatencyModel(contention_factor=0.5)
+        assert lat.contended(100, 3) == pytest.approx(200)

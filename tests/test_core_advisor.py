@@ -1,0 +1,114 @@
+"""Tests for the false-sharing advisor (diagnosis + padding estimate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import FalseSharingAdvisor
+from repro.trace.access import ProgramTrace, make_thread
+from repro.workloads.base import RunConfig
+from repro.workloads.registry import get_workload
+
+from tests.test_core_detector import fitted  # noqa: F401  (reuse fixture)
+
+
+def rmw_thread(addr, n):
+    addrs = np.full(2 * n, addr, dtype=np.int64)
+    writes = np.zeros(2 * n, bool)
+    writes[1::2] = True
+    return make_thread(addrs, writes)
+
+
+@pytest.fixture
+def advisor(fitted):
+    return FalseSharingAdvisor(fitted)
+
+
+class TestFindContendedLines:
+    def test_finds_packed_line(self, advisor):
+        prog = ProgramTrace([rmw_thread(4096, 200), rmw_thread(4104, 200)])
+        found = advisor.find_contended_lines(prog)
+        assert len(found) == 1
+        cl = found[0]
+        assert cl.line == 64
+        assert cl.writers == [0, 1]
+        assert cl.distinct_words == 2
+        assert cl.writes_per_thread == {0: 200, 1: 200}
+
+    def test_true_sharing_excluded(self, advisor):
+        # both threads write the same word: true sharing, not advice fodder
+        prog = ProgramTrace([rmw_thread(4096, 200), rmw_thread(4096, 200)])
+        assert advisor.find_contended_lines(prog) == []
+
+    def test_private_lines_excluded(self, advisor):
+        prog = ProgramTrace([rmw_thread(4096, 200), rmw_thread(4160, 200)])
+        assert advisor.find_contended_lines(prog) == []
+
+    def test_hottest_lines_first(self, advisor):
+        prog = ProgramTrace([
+            rmw_thread(4096, 50).concat(rmw_thread(8192, 500)),
+            rmw_thread(4104, 50).concat(rmw_thread(8200, 500)),
+        ])
+        found = advisor.find_contended_lines(prog)
+        assert [cl.line for cl in found] == [128, 64]
+
+    def test_top_lines_cap(self, fitted):
+        adv = FalseSharingAdvisor(fitted, top_lines=2)
+        threads = []
+        for tid in range(2):
+            parts = [rmw_thread(4096 + 64 * k + 8 * tid, 30)
+                     for k in range(5)]
+            t = parts[0]
+            for p in parts[1:]:
+                t = t.concat(p)
+            threads.append(t)
+        found = adv.find_contended_lines(ProgramTrace(threads))
+        assert len(found) == 2
+
+
+class TestPadTrace:
+    def test_padding_separates_writers(self, advisor):
+        prog = ProgramTrace([rmw_thread(4096, 200), rmw_thread(4104, 200)])
+        found = advisor.find_contended_lines(prog)
+        fixed = advisor.pad_trace(prog, found)
+        lines0 = set((fixed.threads[0].addrs >> 6).tolist())
+        lines1 = set((fixed.threads[1].addrs >> 6).tolist())
+        assert not (lines0 & lines1)
+
+    def test_padding_preserves_access_counts(self, advisor):
+        prog = ProgramTrace([rmw_thread(4096, 200), rmw_thread(4104, 200)])
+        fixed = advisor.pad_trace(prog, advisor.find_contended_lines(prog))
+        assert fixed.total_accesses == prog.total_accesses
+        assert fixed.total_instructions == prog.total_instructions
+
+    def test_no_contention_returns_same_program(self, advisor):
+        prog = ProgramTrace([rmw_thread(4096, 10)])
+        assert advisor.pad_trace(prog, []) is prog
+
+
+class TestDiagnose:
+    def test_bad_fs_diagnosis_end_to_end(self, advisor):
+        pdot = get_workload("pdot")
+        cfg = RunConfig(threads=4, mode="bad-fs", size=65_536)
+        d = advisor.diagnose(pdot, cfg)
+        assert d.label == "bad-fs"
+        assert d.contended, "must name the contended line"
+        assert d.padded_seconds is not None
+        assert d.estimated_speedup > 2.0
+        out = d.render()
+        assert "Falsely shared cache lines" in out
+        assert "estimated effect of padding" in out
+
+    def test_good_run_no_advice(self, advisor):
+        pdot = get_workload("pdot")
+        d = advisor.diagnose(pdot, RunConfig(threads=4, mode="good",
+                                             size=65_536))
+        assert d.label != "bad-fs"
+        assert d.contended == []
+        assert d.padded_seconds is None
+        assert "no false sharing to fix" in d.render()
+
+    def test_padded_replay_faster(self, advisor):
+        pdot = get_workload("pdot")
+        d = advisor.diagnose(pdot, RunConfig(threads=6, mode="bad-fs",
+                                             size=98_304))
+        assert d.padded_seconds < d.seconds

@@ -1,0 +1,161 @@
+"""Tests for the detector API on a miniature training corpus.
+
+These use a reduced collection plan so the full loop (collect -> fit ->
+classify) runs in seconds while still exercising every code path.
+"""
+
+import pytest
+
+from repro.core.detector import CaseResult, FalseSharingDetector, detects_false_sharing
+from repro.core.lab import Lab
+from repro.core.training import (
+    FEATURE_NAMES,
+    PlanRow,
+    ScreeningReport,
+    TrainingData,
+    collect_plan,
+)
+from repro.errors import NotFittedError
+from repro.ml.dataset import Dataset
+from repro.workloads.base import Mode, RunConfig
+from repro.workloads.registry import get_workload
+
+MINI_PLAN_A = [
+    PlanRow("psums", Mode.GOOD, (1_500, 3_000), (3, 6), ("random",), 2),
+    PlanRow("psums", Mode.BAD_FS, (1_500, 3_000), (3, 6), ("random",), 2),
+    PlanRow("psumv", Mode.GOOD, (65_536,), (3, 6), ("random",), 2),
+    PlanRow("psumv", Mode.BAD_FS, (65_536,), (3, 6), ("random",), 2),
+    PlanRow("psumv", Mode.BAD_MA, (65_536,), (3, 6), ("random",), 2),
+]
+MINI_PLAN_B = [
+    PlanRow("seq_read", Mode.GOOD, (32_768, 65_536), (1,), ("random",), 2),
+    PlanRow("seq_read", Mode.BAD_MA, (32_768, 65_536), (1,),
+            ("random", "stride8"), 1),
+]
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    lab = Lab(disk_cache=None)
+    a = collect_plan(lab, MINI_PLAN_A, "A")
+    b = collect_plan(lab, MINI_PLAN_B, "B")
+    td = TrainingData(a, b, a, b,
+                      ScreeningReport(a, [], {}), ScreeningReport(b, [], {}))
+    det = FalseSharingDetector(lab)
+    det.fit(training=td)
+    return det
+
+
+class TestFit:
+    def test_unfitted_raises(self):
+        det = FalseSharingDetector(Lab(disk_cache=None))
+        with pytest.raises(NotFittedError):
+            det.classify_features([0.0] * 15)
+        with pytest.raises(NotFittedError):
+            det.render_tree()
+
+    def test_cv_requires_training_data(self, fitted):
+        det = FalseSharingDetector(fitted.lab)
+        det.fit(dataset=fitted.training.dataset)
+        with pytest.raises(NotFittedError):
+            det.cross_validate()
+
+    def test_fit_on_explicit_dataset(self, fitted):
+        det = FalseSharingDetector(fitted.lab)
+        det.fit(dataset=fitted.training.dataset)
+        assert det.classifier is not None
+
+
+class TestClassification:
+    def test_detects_false_sharing_in_unseen_program(self, fitted):
+        # pdot was never in the mini training plan
+        pdot = get_workload("pdot")
+        res = fitted.classify(pdot, RunConfig(threads=4, mode="bad-fs",
+                                              size=65_536))
+        assert isinstance(res, CaseResult)
+        assert res.label == "bad-fs"
+        assert res.seconds > 0
+
+    def test_good_program_classified_good(self, fitted):
+        pdot = get_workload("pdot")
+        res = fitted.classify(pdot, RunConfig(threads=4, mode="good",
+                                              size=65_536))
+        assert res.label == "good"
+
+    def test_bad_ma_detected(self, fitted):
+        w = get_workload("seq_write")
+        res = fitted.classify(w, RunConfig(threads=1, mode="bad-ma",
+                                           size=65_536, pattern="random"))
+        assert res.label == "bad-ma"
+
+    def test_classify_cases_batch(self, fitted):
+        pdot = get_workload("pdot")
+        cases = [RunConfig(threads=t, mode="bad-fs", size=65_536)
+                 for t in (3, 6)]
+        results = fitted.classify_cases(pdot, cases)
+        assert [r.label for r in results] == ["bad-fs", "bad-fs"]
+
+    def test_overall_majority(self, fitted):
+        assert fitted.overall_label(["good", "bad-fs", "good"]) == "good"
+        assert fitted.label_tally(["good", "good", "bad-fs"]) == {
+            "good": 2, "bad-fs": 1}
+
+
+class TestIntrospection:
+    def test_tree_uses_a_coherence_event_for_bad_fs(self, fitted):
+        # On the reduced corpus the learner may pick Snoop HITM (event 11)
+        # or the RFO-upgrade event (event 2): both are coherence-only
+        # signals that exist iff threads contend on lines.
+        coherence = {"Snoop_Response.HIT_M", "L2_Write.RFO.S_state",
+                     "Snoop_Response.HIT", "Snoop_Response.HIT_E"}
+        assert coherence & set(fitted.tree_events())
+
+    def test_tree_event_numbers_are_table2_indices(self, fitted):
+        nums = fitted.tree_event_numbers()
+        assert nums
+        assert all(1 <= n <= 15 for n in nums)
+
+    def test_render_tree_text(self, fitted):
+        out = fitted.render_tree()
+        assert "bad-fs" in out
+
+    def test_cross_validate_runs(self, fitted):
+        cm = fitted.cross_validate(k=4)
+        assert cm.total == len(fitted.training.dataset)
+        assert cm.accuracy > 0.8
+
+
+class TestHelpers:
+    def test_detects_false_sharing_predicate(self):
+        assert detects_false_sharing("bad-fs")
+        assert not detects_false_sharing("good")
+        assert not detects_false_sharing("bad-ma")
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        fitted.save(path)
+        from repro.core.detector import FalseSharingDetector
+
+        det = FalseSharingDetector(fitted.lab).load(path)
+        w = get_workload("pdot")
+        cfg = RunConfig(threads=4, mode="bad-fs", size=65_536)
+        assert det.classify(w, cfg).label == fitted.classify(w, cfg).label
+
+    def test_loaded_detector_has_no_training_data(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        fitted.save(path)
+        from repro.core.detector import FalseSharingDetector
+
+        det = FalseSharingDetector(fitted.lab).load(path)
+        with pytest.raises(NotFittedError):
+            det.cross_validate()
+
+    def test_save_unfitted_rejected(self, tmp_path):
+        from repro.core.detector import FalseSharingDetector
+        from repro.core.lab import Lab
+
+        det = FalseSharingDetector(Lab(disk_cache=None))
+        with pytest.raises(NotFittedError):
+            det.save(tmp_path / "x.json")

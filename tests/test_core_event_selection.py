@@ -1,0 +1,74 @@
+"""Tests for the Section 2.3 event-selection procedure.
+
+The full selection over 50 candidates is exercised by the table2 bench;
+here we use trimmed candidate and program lists so the logic is tested in
+seconds.
+"""
+
+import pytest
+
+from repro.core.event_selection import (
+    MIN_RATIO,
+    SelectionResult,
+    select_events,
+)
+from repro.core.lab import Lab
+from repro.pmu.events import (
+    NORMALIZER,
+    TABLE2_EVENTS,
+    event_by_raw_key,
+)
+
+HITM = TABLE2_EVENTS[10]
+REPL = TABLE2_EVENTS[13]
+BRANCHES = event_by_raw_key("BR_INST_RETIRED.ALL_BRANCHES")
+UNCORE = event_by_raw_key("MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM")
+
+
+@pytest.fixture(scope="module")
+def selection():
+    lab = Lab(disk_cache=None)
+    return select_events(
+        lab,
+        candidates=[HITM, REPL, BRANCHES, UNCORE],
+        mt_programs=["psums", "psumv"],
+        ma_programs=["psumv", "seq_read"],
+    )
+
+
+class TestSelection:
+    def test_hitm_selected_in_pass1(self, selection):
+        assert HITM in selection.pass1
+
+    def test_repl_selected(self, selection):
+        assert REPL in selection.selected
+
+    def test_branches_rejected(self, selection):
+        """Events that scale with instructions carry no signal."""
+        assert BRANCHES not in selection.selected
+
+    def test_erratic_uncore_hitm_rejected(self, selection):
+        """The paper's surprise: the 'obvious' uncore HITM event fails the
+        2x test because its counts are dominated by unrelated loads."""
+        assert UNCORE not in selection.selected
+
+    def test_passes_disjoint(self, selection):
+        names1 = {e.name for e in selection.pass1}
+        names2 = {e.name for e in selection.pass2}
+        assert not names1 & names2
+
+    def test_with_normalizer_appends_instructions(self, selection):
+        full = selection.with_normalizer()
+        assert full[-1].name == NORMALIZER.name
+        assert len(full) == len(selection.selected) + 1
+
+    def test_votes_recorded(self, selection):
+        assert selection.votes
+        vote = selection.votes[0]
+        assert vote.median_ratio >= 0
+        assert vote.significant == (vote.median_ratio >= MIN_RATIO)
+
+    def test_comparison_structure(self, selection):
+        cmp = selection.table2_comparison()
+        assert set(cmp) == {"agreed", "missed", "extra"}
+        assert "Snoop_Response.HIT_M" in cmp["agreed"]

@@ -1,0 +1,109 @@
+"""Tests for the Lab context: caching, measurement, interference."""
+
+import pytest
+
+from repro.core.lab import Lab
+from repro.pmu.events import NORMALIZER, TABLE2_EVENTS
+from repro.workloads.base import RunConfig
+from repro.workloads.registry import get_workload
+
+HITM = TABLE2_EVENTS[10]
+
+
+@pytest.fixture
+def lab():
+    return Lab(disk_cache=None)
+
+
+def small_cfg(mode="good", rep=0):
+    return RunConfig(threads=3, mode=mode, size=2000, rep=rep)
+
+
+class TestSimulationCache:
+    def test_identical_config_cached(self, lab):
+        w = get_workload("psums")
+        a = lab.simulate(w, small_cfg())
+        b = lab.simulate(w, small_cfg())
+        assert a is b
+        assert lab.cache_size() == 1
+
+    def test_rep_shares_simulation(self, lab):
+        w = get_workload("psums")
+        a = lab.simulate(w, small_cfg(rep=0))
+        b = lab.simulate(w, small_cfg(rep=3))
+        assert a is b
+
+    def test_different_mode_not_shared(self, lab):
+        w = get_workload("psums")
+        a = lab.simulate(w, small_cfg("good"))
+        b = lab.simulate(w, small_cfg("bad-fs"))
+        assert a is not b
+
+    def test_clear_cache(self, lab):
+        w = get_workload("psums")
+        lab.simulate(w, small_cfg())
+        lab.clear_cache()
+        assert lab.cache_size() == 0
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.pkl"
+        w = get_workload("psums")
+        lab1 = Lab(disk_cache=path)
+        lab1.simulate(w, small_cfg())
+        lab1.flush()
+        assert path.exists()
+        lab2 = Lab(disk_cache=path)
+        assert lab2.cache_size() == 1
+
+    def test_corrupt_disk_cache_tolerated(self, tmp_path):
+        path = tmp_path / "cache.pkl"
+        path.write_bytes(b"not a pickle")
+        lab = Lab(disk_cache=path)
+        assert lab.cache_size() == 0
+
+
+class TestMeasurement:
+    def test_measure_default_events(self, lab):
+        w = get_workload("psums")
+        vec = lab.measure(w, small_cfg())
+        assert vec.count(NORMALIZER) > 0
+        assert "seconds" in vec.meta
+
+    def test_reps_produce_different_noise(self, lab):
+        w = get_workload("psums")
+        a = lab.measure(w, small_cfg(rep=0), [HITM, NORMALIZER])
+        b = lab.measure(w, small_cfg(rep=1), [HITM, NORMALIZER])
+        assert a.count(HITM) != b.count(HITM)
+
+    def test_noiseless_lab_is_exact(self):
+        lab = Lab(noisy=False, disk_cache=None)
+        w = get_workload("psums")
+        a = lab.measure(w, small_cfg(rep=0), [HITM, NORMALIZER])
+        b = lab.measure(w, small_cfg(rep=1), [HITM, NORMALIZER])
+        assert a.count(HITM) == b.count(HITM)
+
+
+class TestInterference:
+    def test_zero_probability_never_interferes(self, lab):
+        w = get_workload("seq_read")
+        cfg = RunConfig(threads=1, mode="good", size=4096)
+        vec = lab.measure(w, cfg, interference_p=0.0)
+        assert "interfered" not in vec.meta
+
+    def test_certain_interference_inflates_cache_events(self, lab):
+        w = get_workload("seq_read")
+        cfg = RunConfig(threads=1, mode="good", size=4096)
+        clean = lab.measure(w, cfg, interference_p=0.0)
+        dirty = lab.measure(w, cfg, interference_p=1.0)
+        repl = TABLE2_EVENTS[13]  # L1D replacements
+        assert dirty.count(repl) > 1.5 * clean.count(repl)
+        # instructions are NOT inflated: interference is cache pollution
+        assert dirty.count(NORMALIZER) == pytest.approx(
+            clean.count(NORMALIZER), rel=0.05)
+
+    def test_interference_deterministic_per_run(self, lab):
+        w = get_workload("seq_read")
+        cfg = RunConfig(threads=1, mode="good", size=4096)
+        a = lab.measure(w, cfg, interference_p=0.5)
+        b = lab.measure(w, cfg, interference_p=0.5)
+        assert a.values == b.values

@@ -1,0 +1,163 @@
+"""Tests for time-sliced detection (paper Section 6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.slicing import SlicedDetector, SlicedDiagnosis, SliceVerdict, phased_program
+from repro.errors import ConfigError
+from repro.workloads.base import RunConfig
+from repro.workloads.registry import get_workload
+
+from tests.test_core_detector import fitted  # noqa: F401  (reuse fixture)
+
+
+def _phase(mode, threads=4, size=65_536):
+    pdot = get_workload("pdot")
+    return pdot.trace(RunConfig(threads=threads, mode=mode, size=size))
+
+
+class TestPhasedProgram:
+    def test_concatenates_thread_by_thread(self):
+        a, b = _phase("good"), _phase("bad-fs")
+        prog = phased_program([a, b])
+        assert prog.nthreads == 4
+        assert prog.total_accesses == a.total_accesses + b.total_accesses
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            phased_program([])
+
+    def test_rejects_mismatched_threads(self):
+        with pytest.raises(ConfigError):
+            phased_program([_phase("good", threads=2), _phase("good", threads=4)])
+
+
+class TestSlicedDetector:
+    def test_localizes_false_sharing_phase(self, fitted):
+        prog = phased_program([_phase("good"), _phase("bad-fs"),
+                               _phase("good")], name="3-phase")
+        diag = SlicedDetector(fitted, n_slices=9).diagnose_trace(prog)
+        labels = diag.labels
+        assert len(labels) == 9
+        # the middle third falsely shares, the edges do not
+        assert all(lab == "bad-fs" for lab in labels[3:6])
+        assert all(lab != "bad-fs" for lab in labels[:3])
+        assert all(lab != "bad-fs" for lab in labels[6:])
+
+    def test_overall_flags_any_fs_phase(self, fitted):
+        prog = phased_program([_phase("good"), _phase("bad-fs"),
+                               _phase("good")])
+        diag = SlicedDetector(fitted, n_slices=9).diagnose_trace(prog)
+        assert diag.overall == "bad-fs"
+
+    def test_pure_good_run_all_slices_clean(self, fitted):
+        diag = SlicedDetector(fitted, n_slices=6).diagnose(
+            get_workload("pdot"),
+            RunConfig(threads=4, mode="good", size=131_072))
+        assert "bad-fs" not in diag.labels
+        assert diag.fs_time_fraction() == 0.0
+
+    def test_phase_segments(self, fitted):
+        prog = phased_program([_phase("good"), _phase("bad-fs"),
+                               _phase("good")])
+        diag = SlicedDetector(fitted, n_slices=9).diagnose_trace(prog)
+        phases = diag.phases()
+        assert ("bad-fs", 3, 5) in phases
+
+    def test_fs_time_fraction_dominated_by_fs_phase(self, fitted):
+        # FS slices are much slower, so their time share exceeds 1/3
+        prog = phased_program([_phase("good"), _phase("bad-fs"),
+                               _phase("good")])
+        diag = SlicedDetector(fitted, n_slices=9).diagnose_trace(prog)
+        assert diag.fs_time_fraction() > 0.5
+
+    def test_render_mentions_all_slices(self, fitted):
+        diag = SlicedDetector(fitted, n_slices=4).diagnose(
+            get_workload("pdot"),
+            RunConfig(threads=4, mode="bad-fs", size=65_536))
+        out = diag.render()
+        assert "Time-sliced diagnosis" in out
+        assert "overall: bad-fs" in out
+
+    def test_invalid_slice_count(self, fitted):
+        with pytest.raises(ConfigError):
+            SlicedDetector(fitted, n_slices=0)
+
+
+class TestRunSliced:
+    def test_slice_totals_equal_whole(self):
+        from repro.coherence.machine import MulticoreMachine
+        from tests.conftest import SMALL_SPEC
+
+        prog = _phase("bad-fs", threads=3, size=32_768)
+        m = MulticoreMachine(SMALL_SPEC)
+        whole = m.run(prog)
+        parts = m.run_sliced(prog, 7)
+        for key in ("L1D.REPL", "SNOOP_RESPONSE.HITM",
+                    "MEM_INST_RETIRED.LOADS", "DTLB_MISSES.ANY"):
+            total = sum(p.counts[key] for p in parts)
+            assert total == pytest.approx(whole.counts[key], abs=1), key
+        assert sum(p.instructions for p in parts) == pytest.approx(
+            whole.instructions, rel=0.001)
+
+    def test_slices_carry_meta(self):
+        from repro.coherence.machine import MulticoreMachine
+        from tests.conftest import SMALL_SPEC
+
+        prog = _phase("good", threads=2, size=16_384)
+        parts = MulticoreMachine(SMALL_SPEC).run_sliced(prog, 3)
+        assert [p.meta["slice"] for p in parts] == [0, 1, 2]
+        assert all(p.meta["n_slices"] == 3 for p in parts)
+
+    def test_single_slice_equals_run(self):
+        from repro.coherence.machine import MulticoreMachine
+        from tests.conftest import SMALL_SPEC
+
+        prog = _phase("good", threads=2, size=16_384)
+        m = MulticoreMachine(SMALL_SPEC)
+        assert m.run_sliced(prog, 1)[0].counts == m.run(prog).counts
+
+    def test_invalid_n_slices(self):
+        from repro.coherence.machine import MulticoreMachine
+        from repro.errors import SimulationError
+        from tests.conftest import SMALL_SPEC
+
+        prog = _phase("good", threads=2, size=16_384)
+        with pytest.raises(SimulationError):
+            MulticoreMachine(SMALL_SPEC).run_sliced(prog, 0)
+
+
+class TestSliceEdgeCases:
+    def test_more_slices_than_accesses(self):
+        from repro.coherence.machine import MulticoreMachine
+        from repro.trace.access import ProgramTrace, make_thread
+        import numpy as np
+        from tests.conftest import SMALL_SPEC
+
+        prog = ProgramTrace([make_thread(np.array([4096, 4100, 4104]))])
+        parts = MulticoreMachine(SMALL_SPEC).run_sliced(prog, 10)
+        # empty slices contribute nothing but the totals still match
+        total = sum(p.counts["MEM_INST_RETIRED.LOADS"] for p in parts)
+        assert total == 3
+
+    def test_empty_slices_skipped_in_diagnosis(self, fitted):
+        prog = _phase("bad-fs", threads=2, size=4_096)
+        diag = SlicedDetector(fitted, n_slices=50).diagnose_trace(prog)
+        # every reported verdict corresponds to a slice that did work
+        assert all(v.instructions > 0 for v in diag.verdicts)
+
+    def test_warm_caches_across_slices(self):
+        """Slices share cache state: a later slice re-reading the first
+        slice's data must not pay cold misses again."""
+        import numpy as np
+        from repro.coherence.machine import MulticoreMachine
+        from repro.trace.access import ProgramTrace, make_thread
+        from tests.conftest import SMALL_SPEC
+
+        # one thread reads 32 lines twice
+        addrs = np.tile(np.arange(32, dtype=np.int64) * 64 + 4096, 2)
+        prog = ProgramTrace([make_thread(addrs)])
+        parts = MulticoreMachine(SMALL_SPEC, prefetch=False).run_sliced(
+            prog, 2)
+        assert parts[0].counts["L1D.REPL"] == 32
+        assert parts[1].counts["L1D.REPL"] == 0  # warm

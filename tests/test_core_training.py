@@ -1,0 +1,119 @@
+"""Tests for training-data collection and screening."""
+
+import numpy as np
+import pytest
+
+from repro.core.lab import Lab
+from repro.core.training import (
+    FEATURE_NAMES,
+    PART_A_PLAN,
+    PART_B_PLAN,
+    PlanRow,
+    collect_plan,
+    plan_counts,
+    screen_instances,
+)
+from repro.errors import ConfigError
+from repro.ml.dataset import Instance
+from repro.workloads.base import Mode
+
+
+class TestPlans:
+    def test_part_a_matches_table3_initial(self):
+        assert plan_counts(PART_A_PLAN) == {
+            "good": 324, "bad-fs": 216, "bad-ma": 135}
+
+    def test_part_b_matches_table3_initial(self):
+        assert plan_counts(PART_B_PLAN) == {"good": 171, "bad-ma": 100}
+
+    def test_planrow_config_expansion(self):
+        row = PlanRow("psums", Mode.GOOD, (10, 20), (2, 4), ("random",), 3)
+        cfgs = list(row.configs())
+        assert len(cfgs) == row.count() == 12
+        assert len({c.run_id() for c in cfgs}) == 12
+
+    def test_plan_rows_reference_real_workloads(self):
+        from repro.workloads.registry import get_workload
+
+        for row in PART_A_PLAN + PART_B_PLAN:
+            w = get_workload(row.workload)
+            assert row.mode in w.modes
+
+
+class TestCollect:
+    def test_small_plan_collects_instances(self):
+        lab = Lab(disk_cache=None)
+        plan = [PlanRow("psums", Mode.GOOD, (1500,), (3,), ("random",), 2)]
+        insts = collect_plan(lab, plan, part="A")
+        assert len(insts) == 2
+        for inst in insts:
+            assert inst.label == "good"
+            assert inst.features.shape == (15,)
+            assert inst.meta["part"] == "A"
+
+    def test_features_are_normalized_counts(self):
+        lab = Lab(disk_cache=None, noisy=False)
+        plan = [PlanRow("psums", Mode.BAD_FS, (1500,), (4,), ("random",), 1)]
+        inst = collect_plan(lab, plan, part="A")[0]
+        hitm_idx = FEATURE_NAMES.index("Snoop_Response.HIT_M")
+        assert 0.001 < inst.features[hitm_idx] < 0.5
+
+
+def make_inst(label, workload="w", threads=3, size=10,
+              fill=0.01, repl=0.01, dtlb=0.0001):
+    feats = np.zeros(15)
+    feats[FEATURE_NAMES.index("L2_Transactions.FILL")] = fill
+    feats[FEATURE_NAMES.index("L1D_Cache_Replacements")] = repl
+    feats[FEATURE_NAMES.index("DTLB_Misses")] = dtlb
+    return Instance(feats, label, {"workload": workload, "threads": threads,
+                                   "size": size})
+
+
+class TestScreening:
+    def test_weak_badma_removed(self):
+        insts = (
+            [make_inst("good") for _ in range(4)]
+            + [make_inst("bad-ma", repl=0.011)]   # ~1x good: weak
+            + [make_inst("bad-ma", repl=0.30)]    # 30x good: strong
+        )
+        rep = screen_instances(insts)
+        assert rep.removed_by_mode == {"bad-ma": 1}
+        assert len(rep.kept) == 5
+
+    def test_good_outlier_removed(self):
+        insts = ([make_inst("good") for _ in range(6)]
+                 + [make_inst("good", repl=0.2)])
+        rep = screen_instances(insts)
+        assert rep.removed_by_mode == {"good": 1}
+
+    def test_bad_fs_never_removed(self):
+        insts = ([make_inst("good") for _ in range(4)]
+                 + [make_inst("bad-fs", repl=0.01)])
+        rep = screen_instances(insts)
+        assert rep.removed_by_mode == {}
+
+    def test_badma_without_good_sibling_uses_fallback(self):
+        insts = (
+            [make_inst("good", size=10) for _ in range(4)]
+            + [make_inst("bad-ma", size=99, repl=0.012)]  # no good at size 99
+        )
+        rep = screen_instances(insts)
+        assert rep.removed_by_mode == {"bad-ma": 1}
+
+    def test_badma_with_no_reference_kept(self):
+        insts = [make_inst("bad-ma", workload="lonely", repl=0.01)]
+        rep = screen_instances(insts)
+        assert rep.removed_by_mode == {}
+
+    def test_bad_ratio_params_rejected(self):
+        with pytest.raises(ConfigError):
+            screen_instances([], min_badma_ratio=1.0)
+        with pytest.raises(ConfigError):
+            screen_instances([], good_outlier_ratio=0.5)
+
+    def test_screening_deterministic(self):
+        insts = ([make_inst("good") for _ in range(4)]
+                 + [make_inst("bad-ma", repl=0.011)])
+        a = screen_instances(insts)
+        b = screen_instances(insts)
+        assert a.removed_by_mode == b.removed_by_mode

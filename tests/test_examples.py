@@ -1,0 +1,49 @@
+"""Integrity checks for the example scripts.
+
+Full example runs need the trained pipeline (exercised by the benchmark
+harness); here we verify every script parses, imports, and exposes a main()
+— the cheap regressions that break examples silently.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+EXAMPLES = [p for p in EXAMPLES if p.name != "__init__.py"]
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestExamples:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} needs a docstring"
+
+    def test_defines_main_with_guard(self, path):
+        src = path.read_text()
+        assert "def main(" in src
+        assert '__name__ == "__main__"' in src or \
+            "__name__ == '__main__'" in src
+
+    def test_imports_resolve(self, path, monkeypatch):
+        # import the module (does not execute main() thanks to the guard)
+        monkeypatch.syspath_prepend(str(path.parent))
+        spec = importlib.util.spec_from_file_location(
+            f"example_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+        finally:
+            sys.modules.pop(spec.name, None)
+        assert callable(getattr(module, "main"))
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLES) >= 5

@@ -1,0 +1,61 @@
+"""Tests for the experiment registry and lightweight experiments.
+
+Full-pipeline experiments (tables 3-11) are exercised by the benchmark
+harness; here we test the registry mechanics and the one experiment that
+runs standalone (table1 uses its own lab).
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.base import (
+    ExperimentResult,
+    experiment_ids,
+    experiment_title,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(experiment_ids())
+        expected = {f"table{i}" for i in range(1, 12)} | {"figure2",
+                                                          "overhead"}
+        assert expected <= ids
+
+    def test_ablations_registered(self):
+        ids = set(experiment_ids())
+        assert {"ablation_classifiers", "ablation_events",
+                "ablation_partb", "ablation_noise"} <= ids
+
+    def test_titles_resolve(self):
+        for eid in experiment_ids():
+            assert experiment_title(eid)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("table99")
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # table1 builds its own 32-core lab; ctx is not used
+        return run_experiment("table1", ctx=object())
+
+    def test_structure(self, result):
+        assert isinstance(result, ExperimentResult)
+        assert result.exp_id == "table1"
+        assert "Method" in result.text
+        assert result.paper
+
+    def test_shape_claims(self, result):
+        d = result.data
+        assert d["good_speedup"] > 4
+        assert d["fs_t4_vs_good_t1"] > 1.0
+        assert d["ma_t1_vs_good_t1"] > 2.0
+
+    def test_str_renders(self, result):
+        out = str(result)
+        assert "table1" in out
+        assert "[paper]" in out

@@ -1,0 +1,51 @@
+"""Tests for EXPERIMENTS.md generation (with stubbed experiments)."""
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture
+def stubbed(monkeypatch):
+    calls = []
+
+    def fake_run(exp_id, ctx):
+        calls.append(exp_id)
+        return ExperimentResult(
+            exp_id=exp_id,
+            title=f"title-{exp_id}",
+            text=f"text for {exp_id}",
+            paper=f"paper says {exp_id}",
+        )
+
+    monkeypatch.setattr(report, "run_experiment", fake_run)
+    monkeypatch.setattr(report, "experiment_ids",
+                        lambda: ["table1", "table5", "zz_custom"])
+    monkeypatch.setattr(report, "experiment_title", lambda e: f"T {e}")
+    return calls
+
+
+class TestGenerate:
+    def test_contains_all_experiments(self, stubbed):
+        text = report.generate(ctx=object())
+        for eid in ("table1", "table5", "zz_custom"):
+            assert f"## {eid}:" in text
+            assert f"text for {eid}" in text
+            assert f"paper says {eid}" in text
+
+    def test_canonical_order_respected(self, stubbed):
+        text = report.generate(ctx=object())
+        assert text.index("## table1:") < text.index("## table5:")
+        assert text.index("## table5:") < text.index("## zz_custom:")
+
+    def test_writes_file(self, stubbed, tmp_path):
+        out = tmp_path / "EXP.md"
+        report.generate(path=out, ctx=object())
+        assert out.exists()
+        assert "## table1:" in out.read_text()
+
+    def test_header_present(self, stubbed):
+        text = report.generate(ctx=object())
+        assert text.startswith("# EXPERIMENTS")
+        assert "paper vs. measured" in text

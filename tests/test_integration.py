@@ -1,0 +1,127 @@
+"""End-to-end integration: the paper's method on a reduced scale.
+
+Collect labeled data from mini-programs, train the tree, and detect false
+sharing in programs the classifier never saw — including a suite model —
+plus cross-checks against the shadow-memory oracle.  This is the whole
+methodology in one test file, small enough to run in seconds.
+"""
+
+import pytest
+
+from repro.baselines.shadow import ShadowMemoryDetector
+from repro.core.detector import FalseSharingDetector
+from repro.core.lab import Lab
+from repro.core.training import (
+    PlanRow,
+    ScreeningReport,
+    TrainingData,
+    collect_plan,
+)
+from repro.suites import get_program
+from repro.suites.base import SuiteCase
+from repro.workloads.base import Mode, RunConfig
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def detector():
+    lab = Lab(disk_cache=None)
+    plan_a = [
+        PlanRow("psums", Mode.GOOD, (2_000, 6_000), (3, 6, 12), ("random",), 2),
+        PlanRow("psums", Mode.BAD_FS, (2_000, 6_000), (3, 6, 12), ("random",), 2),
+        PlanRow("false1", Mode.GOOD, (2_000,), (3, 6, 12), ("random",), 2),
+        PlanRow("false1", Mode.BAD_FS, (2_000,), (3, 6, 12), ("random",), 2),
+        PlanRow("count", Mode.GOOD, (98_304,), (3, 6, 12), ("random",), 2),
+        PlanRow("count", Mode.BAD_FS, (98_304,), (3, 6, 12), ("random",), 2),
+        PlanRow("psumv", Mode.GOOD, (98_304,), (3, 6, 12), ("random",), 2),
+        PlanRow("psumv", Mode.BAD_MA, (98_304,), (3, 6, 12),
+                ("random", "stride16"), 1),
+    ]
+    plan_b = [
+        PlanRow("seq_read", Mode.GOOD, (65_536, 131_072), (1,), ("random",), 2),
+        PlanRow("seq_read", Mode.BAD_MA, (65_536, 131_072), (1,),
+                ("random", "stride8"), 1),
+        PlanRow("seq_write", Mode.GOOD, (131_072,), (1,), ("random",), 2),
+        PlanRow("seq_write", Mode.BAD_MA, (131_072,), (1,), ("random",), 2),
+    ]
+    a = collect_plan(lab, plan_a, "A")
+    b = collect_plan(lab, plan_b, "B")
+    td = TrainingData(a, b, a, b, ScreeningReport(a, [], {}),
+                      ScreeningReport(b, [], {}))
+    return FalseSharingDetector(lab).fit(training=td)
+
+
+class TestUnseenMiniPrograms:
+    """pdot, padding, pmatcompare and seq_rmw were never trained on."""
+
+    @pytest.mark.parametrize("name,threads", [("pdot", 6), ("padding", 6),
+                                              ("pmatcompare", 6)])
+    def test_bad_fs_detected(self, detector, name, threads):
+        w = get_workload(name)
+        cfg = RunConfig(threads=threads, mode="bad-fs", size=w.train_sizes[0])
+        assert detector.classify(w, cfg).label == "bad-fs"
+
+    @pytest.mark.parametrize("name", ["pdot", "padding", "pmatcompare"])
+    def test_good_not_flagged(self, detector, name):
+        w = get_workload(name)
+        cfg = RunConfig(threads=6, mode="good", size=w.train_sizes[0])
+        assert detector.classify(w, cfg).label == "good"
+
+    def test_seq_rmw_bad_ma(self, detector):
+        w = get_workload("seq_rmw")
+        cfg = RunConfig(threads=1, mode="bad-ma", size=131_072,
+                        pattern="random")
+        assert detector.classify(w, cfg).label == "bad-ma"
+
+
+class TestSuitePrograms:
+    def test_linear_regression_unoptimized_flagged(self, detector):
+        lr = get_program("linear_regression")
+        case = SuiteCase("100MB", "-O0", 6)
+        vec = detector.lab.measure(lr, case)
+        assert detector.classify_vector(vec) == "bad-fs"
+
+    def test_linear_regression_o2_clean(self, detector):
+        lr = get_program("linear_regression")
+        case = SuiteCase("100MB", "-O2", 6)
+        vec = detector.lab.measure(lr, case)
+        assert detector.classify_vector(vec) == "good"
+
+    def test_blackscholes_clean(self, detector):
+        bs = get_program("blackscholes")
+        vec = detector.lab.measure(bs, SuiteCase("simmedium", "-O2", 8))
+        assert detector.classify_vector(vec) == "good"
+
+
+class TestOracleAgreement:
+    """Our verdicts and the shadow-memory oracle agree on clear-cut cases."""
+
+    @pytest.mark.parametrize("mode,expect_fs", [("good", False),
+                                                ("bad-fs", True)])
+    def test_pdot_agreement(self, detector, mode, expect_fs):
+        w = get_workload("pdot")
+        cfg = RunConfig(threads=6, mode=mode, size=98_304)
+        label = detector.classify(w, cfg).label
+        oracle = ShadowMemoryDetector().run(w.trace(cfg))
+        assert (label == "bad-fs") == expect_fs
+        assert oracle.has_false_sharing == expect_fs
+
+
+class TestTimingStory:
+    def test_false_sharing_costs_wall_time(self, detector):
+        w = get_workload("psumv")
+        good = detector.classify(
+            w, RunConfig(threads=6, mode="good", size=98_304))
+        bad = detector.classify(
+            w, RunConfig(threads=6, mode="bad-fs", size=98_304))
+        assert bad.seconds > 1.5 * good.seconds
+
+    def test_counting_overhead_small(self, detector):
+        from repro.baselines.overhead import overhead_report
+        from repro.pmu.events import TABLE2_EVENTS
+
+        w = get_workload("pdot")
+        res = detector.lab.simulate(
+            w, RunConfig(threads=6, mode="good", size=98_304))
+        rep = overhead_report(res, TABLE2_EVENTS)
+        assert rep.counting_overhead < 0.02

@@ -1,0 +1,84 @@
+"""Tests for the bump allocator and per-thread slot layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.allocator import BumpAllocator
+from repro.memory.layout import LINE_SIZE, line_of
+
+
+class TestBumpAllocator:
+    def test_monotonic(self):
+        a = BumpAllocator()
+        x = a.alloc(10)
+        y = a.alloc(10)
+        assert y >= x + 10
+
+    def test_alignment_honoured(self):
+        a = BumpAllocator()
+        a.alloc(3)
+        addr = a.alloc(8, align=64)
+        assert addr % 64 == 0
+
+    def test_never_hands_out_low_addresses(self):
+        a = BumpAllocator()
+        assert a.alloc(1) >= 4096
+
+    def test_zero_bytes_ok(self):
+        a = BumpAllocator()
+        x = a.alloc(0)
+        assert a.alloc(0) == x  # cursor unchanged
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BumpAllocator().alloc(-1)
+        with pytest.raises(ValueError):
+            BumpAllocator(base=-4)
+
+    def test_alloc_array(self):
+        a = BumpAllocator()
+        arr = a.alloc_array(8, 100)
+        assert arr.length == 100
+        assert arr.base % 8 == 0
+        assert a.cursor >= arr.end
+
+    @given(st.lists(st.tuples(st.integers(0, 1000),
+                              st.sampled_from([1, 8, 64])), max_size=20))
+    def test_allocations_never_overlap(self, requests):
+        a = BumpAllocator()
+        spans = []
+        for nbytes, align in requests:
+            addr = a.alloc(nbytes, align)
+            spans.append((addr, addr + nbytes))
+        spans.sort()
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+class TestPerThreadSlots:
+    def test_packed_slots_share_lines(self):
+        a = BumpAllocator()
+        slots = a.per_thread_slots(8, 8, padded=False)
+        lines = {line_of(s) for s in slots}
+        assert len(lines) == 1  # 8 x 8B = one 64B line
+
+    def test_padded_slots_on_distinct_lines(self):
+        a = BumpAllocator()
+        slots = a.per_thread_slots(8, 8, padded=True)
+        lines = [line_of(s) for s in slots]
+        assert len(set(lines)) == 8
+
+    def test_packed_slots_contiguous(self):
+        a = BumpAllocator()
+        slots = a.per_thread_slots(4, 16, padded=False)
+        assert slots == [slots[0] + 16 * i for i in range(4)]
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            BumpAllocator().per_thread_slots(0)
+
+    def test_many_threads_packed_span_minimal_lines(self):
+        a = BumpAllocator()
+        slots = a.per_thread_slots(12, 8, padded=False)
+        lines = {line_of(s) for s in slots}
+        assert len(lines) == 2  # 96 bytes -> 2 lines (line-aligned start)

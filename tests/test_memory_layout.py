@@ -1,0 +1,117 @@
+"""Tests for cache-line geometry and array layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.layout import (
+    LINE_SIZE,
+    PAGE_SIZE,
+    ArrayLayout,
+    align_up,
+    line_of,
+    offset_in_line,
+    page_of,
+    shares_line,
+)
+
+
+class TestGeometry:
+    def test_line_of_scalar(self):
+        assert line_of(0) == 0
+        assert line_of(63) == 0
+        assert line_of(64) == 1
+
+    def test_line_of_array(self):
+        addrs = np.array([0, 64, 130], dtype=np.int64)
+        assert (line_of(addrs) == [0, 1, 2]).all()
+
+    def test_page_of(self):
+        assert page_of(PAGE_SIZE - 1) == 0
+        assert page_of(PAGE_SIZE) == 1
+
+    def test_offset_in_line(self):
+        assert offset_in_line(64) == 0
+        assert offset_in_line(70) == 6
+
+    def test_shares_line(self):
+        assert shares_line(0, 63)
+        assert not shares_line(63, 64)
+
+    def test_line_page_consistency(self):
+        # every page holds a whole number of lines
+        assert PAGE_SIZE % LINE_SIZE == 0
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(128, 64) == 128
+
+    def test_rounds_up(self):
+        assert align_up(65, 64) == 128
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            align_up(10, 3)
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+
+    @given(st.integers(0, 1 << 40), st.sampled_from([1, 2, 8, 64, 4096]))
+    def test_result_aligned_and_minimal(self, addr, align):
+        out = align_up(addr, align)
+        assert out % align == 0
+        assert 0 <= out - addr < align
+
+
+class TestArrayLayout:
+    def test_packed_addressing(self):
+        a = ArrayLayout(base=100, elem_size=4, length=10)
+        assert a.addr(0) == 100
+        assert a.addr(3) == 112
+        assert a.size_bytes == 40
+
+    def test_strided_addressing(self):
+        a = ArrayLayout(base=0, elem_size=8, length=4, stride=64)
+        assert a.addr(1) == 64
+        assert a.size_bytes == 3 * 64 + 8
+
+    def test_vectorized_addr(self):
+        a = ArrayLayout(base=0, elem_size=4, length=100)
+        idx = np.array([0, 2, 99])
+        assert (a.addr(idx) == [0, 8, 396]).all()
+
+    def test_addr_out_of_range(self):
+        a = ArrayLayout(base=0, elem_size=4, length=3)
+        with pytest.raises(IndexError):
+            a.addr(3)
+        with pytest.raises(IndexError):
+            a.addr(np.array([0, 5]))
+
+    def test_addrs_matches_addr(self):
+        a = ArrayLayout(base=16, elem_size=8, length=5)
+        assert (a.addrs() == [a.addr(i) for i in range(5)]).all()
+
+    def test_lines_spanned(self):
+        a = ArrayLayout(base=0, elem_size=4, length=16)  # 64 bytes
+        assert a.lines_spanned() == 1
+        b = ArrayLayout(base=60, elem_size=4, length=2)  # crosses a boundary
+        assert b.lines_spanned() == 2
+
+    def test_empty_layout(self):
+        a = ArrayLayout(base=0, elem_size=4, length=0)
+        assert a.size_bytes == 0
+        assert a.lines_spanned() == 0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayLayout(base=-1, elem_size=4, length=1)
+        with pytest.raises(ValueError):
+            ArrayLayout(base=0, elem_size=0, length=1)
+        with pytest.raises(ValueError):
+            ArrayLayout(base=0, elem_size=8, length=1, stride=4)
+
+    @given(st.integers(1, 64), st.integers(1, 200))
+    def test_elements_never_overlap(self, elem, length):
+        a = ArrayLayout(base=0, elem_size=elem, length=length)
+        addrs = a.addrs()
+        assert (np.diff(addrs) >= elem).all()

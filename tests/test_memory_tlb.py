@@ -1,0 +1,61 @@
+"""Tests for the TLB model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.tlb import TLB
+
+
+class TestTLB:
+    def test_first_access_misses(self):
+        t = TLB(entries=4)
+        assert t.access(1) is False
+        assert t.misses == 1
+
+    def test_repeat_access_hits(self):
+        t = TLB(entries=4)
+        t.access(1)
+        assert t.access(1) is True
+        assert t.hits == 1
+
+    def test_capacity_eviction_lru(self):
+        t = TLB(entries=2)
+        t.access(1)
+        t.access(2)
+        t.access(1)      # 1 becomes MRU
+        t.access(3)      # evicts 2 (LRU)
+        assert 2 not in t
+        assert 1 in t and 3 in t
+
+    def test_size_never_exceeds_capacity(self):
+        t = TLB(entries=3)
+        for p in range(100):
+            t.access(p)
+        assert len(t) == 3
+
+    def test_flush_clears_entries_keeps_counters(self):
+        t = TLB(entries=4)
+        t.access(1)
+        t.flush()
+        assert 1 not in t
+        assert t.misses == 1
+        assert t.access(1) is False  # misses again after flush
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=300))
+    def test_hits_plus_misses_equals_accesses(self, pages):
+        t = TLB(entries=4)
+        for p in pages:
+            t.access(p)
+        assert t.hits + t.misses == len(pages)
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=100))
+    def test_working_set_within_capacity_never_remisses(self, pages):
+        # <=4 distinct pages in a 4-entry TLB: only cold misses.
+        t = TLB(entries=4)
+        for p in pages:
+            t.access(p)
+        assert t.misses == len(set(pages))

@@ -1,0 +1,128 @@
+"""Tests for ARFF import/export (Weka interop)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.ml.arff import dataset_from_arff, dataset_to_arff, load_arff, save_arff
+from repro.ml.dataset import Dataset
+
+
+@pytest.fixture
+def small():
+    X = np.array([[1.0, 2.5], [0.1, -3.0], [4.0, 0.0]])
+    return Dataset(X, ["good", "bad-fs", "good"], ["Event.One", "DTLB_Misses"])
+
+
+class TestExport:
+    def test_structure(self, small):
+        text = dataset_to_arff(small)
+        assert "@RELATION" in text
+        assert text.count("@ATTRIBUTE") == 3
+        assert "@DATA" in text
+        assert "{good,bad-fs}" in text
+
+    def test_rows_present(self, small):
+        text = dataset_to_arff(small)
+        assert "1.0,2.5,good" in text
+        assert "0.1,-3.0,bad-fs" in text
+
+    def test_names_with_spaces_quoted(self):
+        ds = Dataset(np.zeros((1, 1)), ["g"], ["my event"])
+        text = dataset_to_arff(ds)
+        assert "'my event'" in text
+
+
+class TestRoundTrip:
+    def test_round_trip_equal(self, small):
+        clone = dataset_from_arff(dataset_to_arff(small))
+        assert clone.feature_names == small.feature_names
+        assert list(clone.y) == list(small.y)
+        assert np.allclose(clone.X, small.X)
+
+    def test_file_round_trip(self, small, tmp_path):
+        path = tmp_path / "data.arff"
+        save_arff(small, path)
+        clone = load_arff(path)
+        assert np.allclose(clone.X, small.X)
+
+    def test_training_features_round_trip(self):
+        """The real training dataset's 15 Table 2 feature names survive."""
+        from repro.core.training import FEATURE_NAMES
+
+        X = np.random.default_rng(0).random((4, 15))
+        ds = Dataset(X, ["good", "bad-fs", "bad-ma", "good"], FEATURE_NAMES)
+        clone = dataset_from_arff(dataset_to_arff(ds))
+        assert clone.feature_names == FEATURE_NAMES
+
+
+class TestParser:
+    def test_comments_and_blank_lines_ignored(self):
+        text = """% a comment
+@RELATION r
+
+@ATTRIBUTE x NUMERIC
+@ATTRIBUTE class {a,b}
+% another
+@DATA
+
+1.5,a
+"""
+        ds = dataset_from_arff(text)
+        assert len(ds) == 1
+        assert ds.y[0] == "a"
+
+    def test_case_insensitive_keywords(self):
+        text = ("@relation r\n@attribute x numeric\n"
+                "@attribute class {a}\n@data\n2.0,a\n")
+        ds = dataset_from_arff(text)
+        assert ds.X[0, 0] == 2.0
+
+    def test_empty_data_section(self):
+        text = ("@RELATION r\n@ATTRIBUTE x NUMERIC\n"
+                "@ATTRIBUTE class {a}\n@DATA\n")
+        ds = dataset_from_arff(text)
+        assert len(ds) == 0
+        assert ds.n_features == 1
+
+    def test_missing_data_section_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_from_arff("@RELATION r\n@ATTRIBUTE x NUMERIC\n")
+
+    def test_unknown_class_value_rejected(self):
+        text = ("@RELATION r\n@ATTRIBUTE x NUMERIC\n"
+                "@ATTRIBUTE class {a}\n@DATA\n1.0,zzz\n")
+        with pytest.raises(DatasetError):
+            dataset_from_arff(text)
+
+    def test_wrong_arity_rejected(self):
+        text = ("@RELATION r\n@ATTRIBUTE x NUMERIC\n"
+                "@ATTRIBUTE class {a}\n@DATA\n1.0,2.0,a\n")
+        with pytest.raises(DatasetError):
+            dataset_from_arff(text)
+
+    def test_non_numeric_cell_rejected(self):
+        text = ("@RELATION r\n@ATTRIBUTE x NUMERIC\n"
+                "@ATTRIBUTE class {a}\n@DATA\nfoo,a\n")
+        with pytest.raises(DatasetError):
+            dataset_from_arff(text)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_from_arff("@RELATION r\n@ATTRIBUTE x STRING\n@DATA\n")
+
+
+class TestWekaWorkflow:
+    def test_c45_on_reimported_data_matches(self, small):
+        """Export -> import -> train gives the same tree as training on the
+        original (the Weka round-trip is lossless for the classifier)."""
+        from repro.ml.c45 import C45Classifier
+
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(150, 4))
+        y = ["p" if r[0] > 0 else "q" for r in X]
+        ds = Dataset(X, y, [f"e{i}" for i in range(4)])
+        clone = dataset_from_arff(dataset_to_arff(ds))
+        a = C45Classifier().fit(ds)
+        b = C45Classifier().fit(clone)
+        assert a.render() == b.render()

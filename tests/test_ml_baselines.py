@@ -1,0 +1,112 @@
+"""Tests for the comparison classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, NotFittedError
+from repro.ml.baselines_ml import ALL_BASELINE_CLASSIFIERS, KNN, GaussianNB, OneR, ZeroR
+from repro.ml.dataset import Dataset
+
+
+def blobs(n=120, seed=0):
+    """Three well-separated Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    X, y = [], []
+    for i, (cx, cy) in enumerate([(0, 0), (6, 0), (0, 6)]):
+        X.append(rng.normal([cx, cy], 0.5, size=(n // 3, 2)))
+        y += [f"c{i}"] * (n // 3)
+    return Dataset(np.vstack(X), y, ["x", "y"])
+
+
+class TestZeroR:
+    def test_predicts_majority(self):
+        ds = Dataset(np.zeros((5, 1)), ["a", "a", "a", "b", "b"], ["x"])
+        z = ZeroR().fit(ds)
+        assert list(z.predict(np.zeros((2, 1)))) == ["a", "a"]
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            ZeroR().predict(np.zeros((1, 1)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            ZeroR().fit(Dataset(np.empty((0, 1)), [], ["x"]))
+
+
+class TestOneR:
+    def test_single_feature_rule(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.normal(size=100), np.linspace(0, 1, 100)])
+        y = ["hi" if v > 0.5 else "lo" for v in X[:, 1]]
+        r = OneR().fit(Dataset(X, y, ["noise", "signal"]))
+        assert r.feature_ == 1
+        acc = (r.predict(X) == np.array(y, dtype=object)).mean()
+        assert acc > 0.9
+
+    def test_bins_validated(self):
+        with pytest.raises(DatasetError):
+            OneR(bins=1)
+
+    def test_blobs(self):
+        ds = blobs()
+        r = OneR().fit(ds)
+        # one feature cannot separate three 2-D blobs perfectly but beats chance
+        acc = (r.predict(ds.X) == ds.y).mean()
+        assert acc > 0.5
+
+
+class TestGaussianNB:
+    def test_separable_blobs(self):
+        ds = blobs()
+        nb = GaussianNB().fit(ds)
+        assert (nb.predict(ds.X) == ds.y).mean() > 0.98
+
+    def test_priors_used(self):
+        # heavily imbalanced: ambiguous points go to the majority
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (95, 1)), rng.normal(0.2, 1, (5, 1))])
+        y = ["maj"] * 95 + ["min"] * 5
+        nb = GaussianNB().fit(Dataset(X, y, ["x"]))
+        assert nb.predict(np.array([[0.1]]))[0] == "maj"
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            GaussianNB().predict(np.zeros((1, 2)))
+
+
+class TestKNN:
+    def test_separable_blobs(self):
+        ds = blobs()
+        knn = KNN(k=3).fit(ds)
+        assert (knn.predict(ds.X) == ds.y).mean() > 0.98
+
+    def test_k_validated(self):
+        with pytest.raises(DatasetError):
+            KNN(k=0)
+
+    def test_standardization_matters(self):
+        # one feature on a huge scale would dominate without standardization
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.normal(size=60) * 1e6,
+                             np.repeat([0.0, 1.0], 30)])
+        y = ["a"] * 30 + ["b"] * 30
+        knn = KNN(k=3).fit(Dataset(X, y, ["big", "small"]))
+        probe = np.array([[0.0, 1.0]])
+        assert knn.predict(probe)[0] == "b"
+
+    def test_k_larger_than_train(self):
+        ds = blobs(n=9)
+        knn = KNN(k=50).fit(ds)
+        assert knn.predict(ds.X).shape == (9,)
+
+
+class TestRegistryDict:
+    def test_all_four_present(self):
+        assert set(ALL_BASELINE_CLASSIFIERS) == {"ZeroR", "OneR",
+                                                 "NaiveBayes", "kNN"}
+
+    def test_all_instantiable_and_fittable(self):
+        ds = blobs()
+        for cls in ALL_BASELINE_CLASSIFIERS.values():
+            model = cls().fit(ds)
+            assert model.predict(ds.X[:3]).shape == (3,)

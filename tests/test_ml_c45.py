@@ -1,0 +1,195 @@
+"""Tests for the C4.5/J48 learner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DatasetError, NotFittedError
+from repro.ml.c45 import C45Classifier, entropy
+from repro.ml.dataset import Dataset
+
+
+def dataset_from_rule(n=200, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = []
+    for row in X:
+        lab = "pos" if row[0] > 0.2 else ("mid" if row[1] > 0.5 else "neg")
+        if noise and rng.random() < noise:
+            lab = rng.choice(["pos", "mid", "neg"])
+        y.append(lab)
+    return Dataset(X, y, ["a", "b", "c"])
+
+
+class TestEntropy:
+    def test_pure_is_zero(self):
+        assert entropy(np.array([10, 0, 0])) == 0.0
+
+    def test_uniform_two_class(self):
+        assert entropy(np.array([5, 5])) == pytest.approx(1.0)
+
+    def test_uniform_four_class(self):
+        assert entropy(np.array([2, 2, 2, 2])) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert entropy(np.array([0, 0])) == 0.0
+
+    @given(st.lists(st.integers(0, 50), min_size=2, max_size=6))
+    def test_bounds(self, counts):
+        h = entropy(np.array(counts))
+        assert 0.0 <= h <= np.log2(len(counts)) + 1e-9
+
+
+class TestFit:
+    def test_learns_separable_rule(self):
+        ds = dataset_from_rule()
+        clf = C45Classifier().fit(ds)
+        assert clf.score(ds) > 0.98
+
+    def test_pure_dataset_single_leaf(self):
+        ds = Dataset(np.random.default_rng(0).normal(size=(20, 2)),
+                     ["x"] * 20, ["a", "b"])
+        clf = C45Classifier().fit(ds)
+        assert clf.n_leaves == 1
+        assert clf.predict_one(np.zeros(2)) == "x"
+
+    def test_empty_rejected(self):
+        ds = Dataset(np.empty((0, 2)), [], ["a", "b"])
+        with pytest.raises(DatasetError):
+            C45Classifier().fit(ds)
+
+    def test_unfitted_raises(self):
+        clf = C45Classifier()
+        with pytest.raises(NotFittedError):
+            clf.predict(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            clf.render()
+        with pytest.raises(NotFittedError):
+            _ = clf.n_leaves
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            C45Classifier(cf=0.0)
+        with pytest.raises(DatasetError):
+            C45Classifier(cf=0.6)
+        with pytest.raises(DatasetError):
+            C45Classifier(min_leaf=0)
+
+    def test_max_depth_respected(self):
+        ds = dataset_from_rule()
+        clf = C45Classifier(max_depth=1, prune=False).fit(ds)
+        assert clf.root_.depth() <= 1
+
+    def test_min_leaf_respected(self):
+        ds = dataset_from_rule(n=100)
+        clf = C45Classifier(min_leaf=10, prune=False).fit(ds)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.n >= 10 or node.n == clf.root_.n
+                return
+            check(node.left)
+            check(node.right)
+
+        check(clf.root_)
+
+    def test_constant_features_yield_leaf(self):
+        X = np.ones((20, 2))
+        y = ["a"] * 12 + ["b"] * 8
+        clf = C45Classifier().fit(Dataset(X, y, ["a", "b"]))
+        assert clf.n_leaves == 1
+        assert clf.predict_one(np.ones(2)) == "a"
+
+
+class TestPruning:
+    def test_pruning_never_grows_tree(self):
+        ds = dataset_from_rule(noise=0.1)
+        unpruned = C45Classifier(prune=False).fit(ds)
+        pruned = C45Classifier(prune=True).fit(ds)
+        assert pruned.n_leaves <= unpruned.n_leaves
+
+    def test_noisy_data_gets_pruned(self):
+        ds = dataset_from_rule(n=400, noise=0.25)
+        unpruned = C45Classifier(prune=False).fit(ds)
+        pruned = C45Classifier(prune=True).fit(ds)
+        assert pruned.n_leaves < unpruned.n_leaves
+
+    def test_smaller_cf_prunes_more(self):
+        ds = dataset_from_rule(n=400, noise=0.2)
+        lax = C45Classifier(cf=0.45).fit(ds)
+        strict = C45Classifier(cf=0.01).fit(ds)
+        assert strict.n_leaves <= lax.n_leaves
+
+
+class TestPredict:
+    def test_predict_batch_and_single_agree(self):
+        ds = dataset_from_rule()
+        clf = C45Classifier().fit(ds)
+        batch = clf.predict(ds.X[:5])
+        singles = [clf.predict_one(ds.X[i]) for i in range(5)]
+        assert list(batch) == singles
+
+    def test_generalizes(self):
+        train = dataset_from_rule(seed=0)
+        test = dataset_from_rule(seed=1)
+        clf = C45Classifier().fit(train)
+        assert clf.score(test) > 0.9
+
+    def test_1d_input_promoted(self):
+        ds = dataset_from_rule()
+        clf = C45Classifier().fit(ds)
+        assert clf.predict(ds.X[0]).shape == (1,)
+
+
+class TestStructure:
+    def test_render_contains_feature_names(self):
+        ds = dataset_from_rule()
+        clf = C45Classifier().fit(ds)
+        out = clf.render()
+        assert "a <= " in out or "a > " in out
+
+    def test_used_features_subset(self):
+        ds = dataset_from_rule()
+        clf = C45Classifier().fit(ds)
+        assert set(clf.used_feature_names()) <= {"a", "b", "c"}
+
+    def test_node_counts_consistent(self):
+        ds = dataset_from_rule()
+        clf = C45Classifier().fit(ds)
+        assert clf.n_nodes == 2 * clf.n_leaves - 1  # binary tree
+
+    def test_threshold_between_observed_values(self):
+        ds = dataset_from_rule()
+        clf = C45Classifier().fit(ds)
+        root = clf.root_
+        col = ds.X[:, root.feature]
+        assert col.min() < root.threshold < col.max()
+
+
+class TestInvariances:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 5))
+    def test_row_permutation_invariance(self, seed):
+        ds = dataset_from_rule(n=120, seed=42)
+        perm = np.random.default_rng(seed).permutation(len(ds))
+        shuffled = ds.subset(perm)
+        a = C45Classifier().fit(ds)
+        b = C45Classifier().fit(shuffled)
+        probe = np.random.default_rng(7).normal(size=(50, 3))
+        assert list(a.predict(probe)) == list(b.predict(probe))
+
+    def test_feature_scaling_changes_thresholds_not_structure(self):
+        ds = dataset_from_rule(n=150)
+        scaled = Dataset(ds.X * 100.0, list(ds.y), ds.feature_names)
+        a = C45Classifier().fit(ds)
+        b = C45Classifier().fit(scaled)
+        assert a.n_leaves == b.n_leaves
+        assert a.root_.feature == b.root_.feature
+        assert b.root_.threshold == pytest.approx(a.root_.threshold * 100,
+                                                  rel=1e-6)
+
+    def test_determinism(self):
+        ds = dataset_from_rule(n=200, noise=0.05)
+        a = C45Classifier().fit(ds)
+        b = C45Classifier().fit(ds)
+        assert a.render() == b.render()

@@ -1,0 +1,139 @@
+"""Tests for Dataset and Instance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DatasetError
+from repro.ml.dataset import Dataset, Instance
+
+
+def toy(n=30, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = ["a" if i % 3 else "b" for i in range(n)]
+    return Dataset(X, y, [f"f{i}" for i in range(d)])
+
+
+class TestInstance:
+    def test_basic(self):
+        inst = Instance(np.array([1.0, 2.0]), "good")
+        assert inst.features.shape == (1, 2)[1:] or inst.features.shape == (2,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(DatasetError):
+            Instance(np.zeros((2, 2)), "good")
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(DatasetError):
+            Instance(np.zeros(2), "")
+
+
+class TestDataset:
+    def test_shapes_validated(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((3, 2)), ["a"] * 2, ["x", "y"])
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((3, 2)), ["a"] * 3, ["x"])
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros(3), ["a"] * 3, ["x"])
+
+    def test_nonfinite_rejected(self):
+        X = np.array([[np.nan]])
+        with pytest.raises(DatasetError):
+            Dataset(X, ["a"], ["x"])
+
+    def test_classes_first_appearance_order(self):
+        ds = Dataset(np.zeros((3, 1)), ["z", "a", "z"], ["x"])
+        assert ds.classes == ["z", "a"]
+
+    def test_class_counts(self):
+        assert toy().class_counts() == {"b": 10, "a": 20}
+
+    def test_subset_by_indices(self):
+        ds = toy()
+        sub = ds.subset([0, 3, 6])
+        assert len(sub) == 3
+        assert (sub.X[0] == ds.X[0]).all()
+
+    def test_subset_by_mask(self):
+        ds = toy()
+        mask = ds.y == "a"
+        sub = ds.subset(mask)
+        assert len(sub) == 20
+        assert all(lab == "a" for lab in sub.y)
+
+    def test_select_features(self):
+        ds = toy()
+        sub = ds.select_features(["f2", "f0"])
+        assert sub.feature_names == ["f2", "f0"]
+        assert (sub.X[:, 0] == ds.X[:, 2]).all()
+
+    def test_select_unknown_feature_rejected(self):
+        with pytest.raises(DatasetError):
+            toy().select_features(["nope"])
+
+    def test_concat(self):
+        a, b = toy(10), toy(5, seed=1)
+        c = a.concat(b)
+        assert len(c) == 15
+
+    def test_concat_mismatched_features_rejected(self):
+        a = toy(5, d=2)
+        b = toy(5, d=3)
+        with pytest.raises(DatasetError):
+            a.concat(b)
+
+    def test_from_instances(self):
+        insts = [Instance(np.array([1.0, 2.0]), "g", {"i": i})
+                 for i in range(4)]
+        ds = Dataset.from_instances(insts, ["a", "b"])
+        assert len(ds) == 4
+        assert ds.meta[2]["i"] == 2
+
+    def test_from_empty_instances(self):
+        ds = Dataset.from_instances([], ["a"])
+        assert len(ds) == 0
+
+
+class TestStratifiedFolds:
+    def test_partition_property(self):
+        ds = toy(40)
+        seen = []
+        for train, test in ds.stratified_folds(k=5):
+            assert len(train) + len(test) == len(ds)
+            seen.append(len(test))
+        assert sum(seen) == len(ds)
+
+    def test_stratification(self):
+        ds = toy(60)
+        for train, test in ds.stratified_folds(k=5):
+            frac = (test.y == "a").mean()
+            assert 0.5 < frac < 0.85  # population fraction is 2/3
+
+    def test_deterministic_by_seed(self):
+        ds = toy(40)
+        a = [len(t) for _, t in ds.stratified_folds(k=4, seed=7)]
+        b = [len(t) for _, t in ds.stratified_folds(k=4, seed=7)]
+        assert a == b
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(DatasetError):
+            list(toy(3).stratified_folds(k=5))
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(DatasetError):
+            list(toy().stratified_folds(k=1))
+
+    @settings(max_examples=10)
+    @given(st.integers(2, 8))
+    def test_every_row_tested_exactly_once(self, k):
+        ds = toy(50)
+        tested = np.zeros(50, dtype=int)
+        # tag rows through meta
+        ds = Dataset(ds.X, ds.y, ds.feature_names,
+                     [{"row": i} for i in range(50)])
+        for _, test in ds.stratified_folds(k=k):
+            for m in test.meta:
+                tested[m["row"]] += 1
+        assert (tested == 1).all()

@@ -1,0 +1,106 @@
+"""Tests for cross-validation and confusion matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.ml.c45 import C45Classifier
+from repro.ml.dataset import Dataset
+from repro.ml.validation import ConfusionMatrix, cross_validate, holdout_score
+
+
+def toy(n=90, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = ["p" if x[0] > 0 else "n" for x in X]
+    return Dataset(X, y, ["a", "b"])
+
+
+class TestConfusionMatrix:
+    def test_add_and_count(self):
+        cm = ConfusionMatrix.empty(["a", "b"])
+        cm.add("a", "a")
+        cm.add("a", "b")
+        cm.add("b", "b")
+        assert cm.count("a", "a") == 1
+        assert cm.count("a", "b") == 1
+        assert cm.total == 3
+        assert cm.correct == 2
+        assert cm.accuracy == pytest.approx(2 / 3)
+
+    def test_unknown_actual_rejected(self):
+        cm = ConfusionMatrix.empty(["a"])
+        with pytest.raises(DatasetError):
+            cm.add("zzz", "a")
+
+    def test_unknown_predicted_grows_matrix(self):
+        cm = ConfusionMatrix.empty(["a"])
+        cm.add("a", "new")
+        assert cm.count("a", "new") == 1
+        assert cm.accuracy == 0.0
+
+    def test_merge(self):
+        a = ConfusionMatrix.empty(["x", "y"])
+        a.add("x", "x")
+        b = ConfusionMatrix.empty(["x", "y"])
+        b.add("y", "x")
+        m = a.merge(b)
+        assert m.total == 2
+        assert m.correct == 1
+
+    def test_merge_mismatch_rejected(self):
+        a = ConfusionMatrix.empty(["x"])
+        b = ConfusionMatrix.empty(["y"])
+        with pytest.raises(DatasetError):
+            a.merge(b)
+
+    def test_per_class_metrics(self):
+        cm = ConfusionMatrix.empty(["a", "b"])
+        for _ in range(8):
+            cm.add("a", "a")
+        cm.add("a", "b")
+        cm.add("b", "b")
+        per = cm.per_class()
+        assert per["a"]["recall"] == pytest.approx(8 / 9)
+        assert per["b"]["precision"] == pytest.approx(1 / 2)
+        assert per["a"]["support"] == 9
+
+    def test_render(self):
+        cm = ConfusionMatrix.empty(["a", "b"])
+        cm.add("a", "a")
+        out = cm.render("T")
+        assert "T" in out and "a" in out
+
+    def test_empty_accuracy(self):
+        assert ConfusionMatrix.empty(["a"]).accuracy == 0.0
+
+
+class TestCrossValidate:
+    def test_separable_high_accuracy(self):
+        cm = cross_validate(C45Classifier, toy(), k=5)
+        assert cm.accuracy > 0.9
+        assert cm.total == 90
+
+    def test_every_instance_tested_once(self):
+        cm = cross_validate(C45Classifier, toy(120), k=10)
+        assert cm.total == 120
+
+    def test_deterministic(self):
+        a = cross_validate(C45Classifier, toy(), k=5, seed=3)
+        b = cross_validate(C45Classifier, toy(), k=5, seed=3)
+        assert (a.matrix == b.matrix).all()
+
+
+class TestHoldout:
+    def test_train_test_split(self):
+        cm = holdout_score(C45Classifier, toy(seed=0), toy(seed=1))
+        assert cm.total == 90
+        assert cm.accuracy > 0.85
+
+    def test_unseen_class_in_test(self):
+        train = toy()
+        X = np.array([[0.5, 0.0]])
+        test = Dataset(X, ["weird"], ["a", "b"])
+        cm = holdout_score(C45Classifier, train, test)
+        assert cm.total == 1
+        assert cm.correct == 0

@@ -1,0 +1,82 @@
+"""Tests for event vectors and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PMUError
+from repro.pmu.counters import (
+    EventVector,
+    feature_matrix,
+    feature_names,
+    merge_vectors,
+    require_events,
+)
+from repro.pmu.events import NORMALIZER, TABLE2_EVENTS
+
+
+def vec(instr=1000.0, hitm=50.0):
+    return EventVector({
+        NORMALIZER.name: instr,
+        "Snoop_Response.HIT_M": hitm,
+    })
+
+
+class TestEventVector:
+    def test_count(self):
+        v = vec()
+        assert v.count(TABLE2_EVENTS[10]) == 50.0
+
+    def test_missing_event_raises(self):
+        with pytest.raises(PMUError):
+            vec().count(TABLE2_EVENTS[0])
+
+    def test_normalized(self):
+        assert vec().normalized(TABLE2_EVENTS[10]) == pytest.approx(0.05)
+
+    def test_zero_instructions_raises(self):
+        with pytest.raises(PMUError):
+            vec(instr=0.0).normalized(TABLE2_EVENTS[10])
+
+    def test_features_order(self):
+        v = EventVector({
+            NORMALIZER.name: 100.0,
+            "Snoop_Response.HIT_M": 1.0,
+            "DTLB_Misses": 2.0,
+        })
+        feats = v.features([TABLE2_EVENTS[10], TABLE2_EVENTS[12]])
+        assert feats == pytest.approx([0.01, 0.02])
+
+
+class TestFeatureMatrix:
+    def test_shape(self):
+        vs = [vec(hitm=i) for i in range(3)]
+        m = feature_matrix(vs, [TABLE2_EVENTS[10]])
+        assert m.shape == (3, 1)
+        assert m[:, 0] == pytest.approx([0.0, 0.001, 0.002])
+
+    def test_empty(self):
+        m = feature_matrix([], [TABLE2_EVENTS[10]])
+        assert m.shape == (0, 1)
+
+    def test_feature_names(self):
+        assert feature_names([TABLE2_EVENTS[10]]) == ["Snoop_Response.HIT_M"]
+
+
+class TestMergeRequire:
+    def test_merge_disjoint(self):
+        a = EventVector({"X": 1.0}, overhead=0.01)
+        b = EventVector({"Y": 2.0}, overhead=0.02)
+        m = merge_vectors(a, b)
+        assert m.values == {"X": 1.0, "Y": 2.0}
+        assert m.overhead == 0.02
+
+    def test_merge_overlap_rejected(self):
+        a = EventVector({"X": 1.0})
+        with pytest.raises(PMUError):
+            merge_vectors(a, a)
+
+    def test_require_events(self):
+        v = vec()
+        require_events(v, [NORMALIZER])
+        with pytest.raises(PMUError):
+            require_events(v, [TABLE2_EVENTS[0]])

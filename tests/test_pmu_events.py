@@ -1,0 +1,100 @@
+"""Tests for the PMU event catalog."""
+
+import pytest
+
+from repro.errors import UnknownEventError
+from repro.pmu.events import (
+    ALL_EVENTS,
+    CANDIDATE_EVENTS,
+    CLOCK_EVENT,
+    NORMALIZER,
+    TABLE2_EVENTS,
+    event_by_code,
+    event_by_name,
+    event_by_raw_key,
+    event_number,
+    feature_events,
+)
+
+
+class TestTable2:
+    def test_sixteen_events(self):
+        assert len(TABLE2_EVENTS) == 16
+
+    def test_paper_numbering(self):
+        # spot-check the paper's Table 2 rows
+        assert TABLE2_EVENTS[0].code == 0x26 and TABLE2_EVENTS[0].umask == 0x01
+        assert TABLE2_EVENTS[10].name == "Snoop_Response.HIT_M"
+        assert TABLE2_EVENTS[10].code == 0xB8 and TABLE2_EVENTS[10].umask == 0x04
+        assert TABLE2_EVENTS[12].name == "DTLB_Misses"
+        assert TABLE2_EVENTS[15].name == "Instructions_Retired"
+
+    def test_event_number(self):
+        assert event_number(TABLE2_EVENTS[10]) == 11
+        assert event_number(TABLE2_EVENTS[5]) == 6
+
+    def test_non_table2_has_no_number(self):
+        extra = [e for e in CANDIDATE_EVENTS if e not in TABLE2_EVENTS]
+        assert event_number(extra[0]) is None
+
+    def test_normalizer_is_instructions(self):
+        assert NORMALIZER.name == "Instructions_Retired"
+        assert NORMALIZER.raw_key == "INST_RETIRED.ANY"
+
+    def test_feature_events_excludes_normalizer(self):
+        feats = feature_events()
+        assert len(feats) == 15
+        assert NORMALIZER not in feats
+
+
+class TestCatalog:
+    def test_candidate_count_plausible(self):
+        # the paper had 60-70 candidates on real hardware; we model ~50
+        assert 40 <= len(CANDIDATE_EVENTS) <= 70
+
+    def test_no_duplicate_names(self):
+        names = [e.name for e in ALL_EVENTS]
+        assert len(names) == len(set(names))
+
+    def test_no_duplicate_code_umask(self):
+        pairs = [(e.code, e.umask) for e in ALL_EVENTS]
+        assert len(pairs) == len(set(pairs))
+
+    def test_clock_not_a_candidate(self):
+        assert CLOCK_EVENT not in CANDIDATE_EVENTS
+        assert CLOCK_EVENT in ALL_EVENTS
+
+    def test_erratic_event_flagged(self):
+        e = event_by_raw_key("MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM")
+        assert e.erratic
+
+    def test_l1d_events_noisier(self):
+        ld = event_by_raw_key("L1D_CACHE_LD")
+        hitm = event_by_raw_key("SNOOP_RESPONSE.HITM")
+        assert ld.noise > 3 * hitm.noise
+
+    def test_selector_format(self):
+        e = TABLE2_EVENTS[10]
+        assert e.selector == "r04B8"
+
+
+class TestLookups:
+    def test_by_name(self):
+        assert event_by_name("Snoop_Response.HIT_M").umask == 0x04
+
+    def test_by_name_case_insensitive(self):
+        assert event_by_name("snoop_response.hit_m").umask == 0x04
+
+    def test_by_raw_key(self):
+        assert event_by_raw_key("L1D.REPL").name == "L1D_Cache_Replacements"
+
+    def test_by_code(self):
+        assert event_by_code(0xB8, 0x04).name == "Snoop_Response.HIT_M"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(UnknownEventError):
+            event_by_name("No_Such_Event")
+        with pytest.raises(UnknownEventError):
+            event_by_raw_key("NO.KEY")
+        with pytest.raises(UnknownEventError):
+            event_by_code(0xFF, 0xFF)

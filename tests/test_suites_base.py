@@ -1,0 +1,93 @@
+"""Tests for the suite-program abstractions."""
+
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.suites import all_programs, get_program, parsec_programs, phoenix_programs
+from repro.suites.base import OPT_LEVELS, SuiteCase, opt_effects
+
+
+class TestSuiteCase:
+    def test_run_id_unique_per_axis(self):
+        base = SuiteCase("simsmall", "-O2", 4)
+        assert base.run_id() != base.with_(opt="-O3").run_id()
+        assert base.run_id() != base.with_(threads=8).run_id()
+        assert base.run_id() != base.with_(rep=1).run_id()
+
+    def test_invalid_opt_rejected(self):
+        with pytest.raises(ConfigError):
+            SuiteCase("x", "-O9", 4)
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            SuiteCase("x", "-O2", 0)
+
+    def test_hashable(self):
+        assert hash(SuiteCase("a", "-O1", 2)) == hash(SuiteCase("a", "-O1", 2))
+
+
+class TestOptLevels:
+    def test_all_four_defined(self):
+        assert set(OPT_LEVELS) == {"-O0", "-O1", "-O2", "-O3"}
+
+    def test_instruction_scale_monotone(self):
+        scales = [opt_effects(o)["instr_scale"]
+                  for o in ("-O0", "-O1", "-O2", "-O3")]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_registerization_at_o2(self):
+        assert not opt_effects("-O0")["registerized"]
+        assert not opt_effects("-O1")["registerized"]
+        assert opt_effects("-O2")["registerized"]
+        assert opt_effects("-O3")["registerized"]
+
+
+class TestRegistry:
+    def test_counts(self):
+        assert len(phoenix_programs()) == 8
+        assert len(parsec_programs()) == 11
+        assert len(all_programs()) == 19
+
+    def test_lookup(self):
+        assert get_program("streamcluster").suite == "parsec"
+        assert get_program("linear_regression").suite == "phoenix"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_program("doom")
+
+
+class TestGrids:
+    def test_phoenix_grid_36_cases(self):
+        p = get_program("linear_regression")
+        assert len(p.cases()) == 36  # 3 inputs x 3 opts x 4 thread counts
+
+    def test_reverse_index_single_input(self):
+        assert len(get_program("reverse_index").cases()) == 12
+
+    def test_parsec_grid_36_cases(self):
+        assert len(get_program("streamcluster").cases()) == 36
+
+    def test_verification_grid_totals_paper_322(self):
+        total = sum(len(p.verification_cases()) for p in all_programs())
+        assert total == 322
+
+    def test_verification_respects_thread_limit(self):
+        for p in all_programs():
+            for case in p.verification_cases():
+                assert case.threads <= 8
+
+    def test_parsec_verification_excludes_native(self):
+        for p in parsec_programs():
+            inputs = {c.input_set for c in p.verification_cases()}
+            assert "native" not in inputs
+
+    def test_freqmine_quirk_16_cases(self):
+        assert len(get_program("freqmine").verification_cases()) == 16
+
+    def test_invalid_case_rejected(self):
+        p = get_program("streamcluster")
+        with pytest.raises(WorkloadError):
+            p.trace(SuiteCase("10MB", "-O2", 4))  # a Phoenix input name
+        with pytest.raises(WorkloadError):
+            p.trace(SuiteCase("simsmall", "-O0", 4))  # PARSEC uses O1-O3

@@ -1,0 +1,170 @@
+"""Tests for the shared parametric benchmark model."""
+
+import numpy as np
+import pytest
+
+from repro.memory.layout import line_of
+from repro.suites.base import SuiteCase
+from repro.suites.common import ParamModel, kb, mb
+
+
+class _Probe(ParamModel):
+    """Configurable instance for exercising each mechanism in isolation."""
+
+    name = "probe"
+    suite = "phoenix"
+    inputs = ("in",)
+    opts = ("-O0", "-O2")
+    threads = (2, 4)
+
+    iters = 4_000
+    acc_fields = 2
+    acc_stride = None
+    acc_period = 4
+    gather_period = 0
+    gather_bytes = kb(16)
+    gather_shared = False
+    stack_every = 1
+    merge_rmws = 0
+
+    def p_iters(self, case):
+        return self.iters
+
+    def p_acc_fields(self, case):
+        return self.acc_fields
+
+    def p_acc_stride(self, case):
+        return self.acc_stride
+
+    def p_acc_period(self, case):
+        return self.acc_period
+
+    def p_gather_period(self, case):
+        return self.gather_period
+
+    def p_gather_bytes(self, case):
+        return self.gather_bytes
+
+    def p_gather_shared(self, case):
+        return self.gather_shared
+
+    def p_stack_every(self, case):
+        return self.stack_every
+
+    def p_merge_rmws(self, case):
+        return self.merge_rmws
+
+
+def probe(**kw):
+    p = _Probe()
+    for k, v in kw.items():
+        setattr(p, k, v)
+    return p
+
+
+CASE = SuiteCase("in", "-O2", 4)
+
+
+class TestAccumulator:
+    def test_padded_by_default(self):
+        tr = probe().trace(CASE)
+        def acc_lines(tid):
+            t = tr.threads[tid]
+            lines, counts = np.unique(line_of(t.addrs[t.is_write]),
+                                      return_counts=True)
+            return set(lines[counts > 100].tolist())
+        shared = acc_lines(0) & acc_lines(1)
+        assert not shared
+
+    def test_packed_stride_shares_lines(self):
+        tr = probe(acc_stride=16).trace(CASE)
+        w0 = set(line_of(tr.threads[0].addrs[tr.threads[0].is_write]).tolist())
+        w1 = set(line_of(tr.threads[1].addrs[tr.threads[1].is_write]).tolist())
+        assert w0 & w1
+
+    def test_period_controls_write_count(self):
+        dense = probe(acc_period=1, stack_every=0).trace(CASE)
+        sparse = probe(acc_period=16, stack_every=0).trace(CASE)
+        assert (sum(t.n_writes for t in dense.threads)
+                > 4 * sum(t.n_writes for t in sparse.threads))
+
+    def test_zero_period_disables_accumulator(self):
+        tr = probe(acc_period=0, stack_every=0).trace(CASE)
+        # only sync-word writes remain
+        assert sum(t.n_writes for t in tr.threads) < 50
+
+
+class TestGather:
+    def test_private_tables_disjoint(self):
+        tr = probe(gather_period=2, gather_shared=False,
+                   gather_bytes=kb(32)).trace(CASE)
+        # gather lines of thread 0 and 1 are disjoint (own tables)
+        def gather_lines(tid):
+            t = tr.threads[tid]
+            return set(line_of(t.addrs).tolist())
+        # they still share the input stream; compare only high lines
+        g0 = {l for l in gather_lines(0)}
+        g1 = {l for l in gather_lines(1)}
+        # tables dominate the upper address range; require SOME disjointness
+        assert g0 != g1
+
+    def test_shared_table_overlaps(self):
+        tr = probe(gather_period=2, gather_shared=True,
+                   gather_bytes=kb(32)).trace(CASE)
+        r0 = set(line_of(tr.threads[0].addrs[~tr.threads[0].is_write]).tolist())
+        r1 = set(line_of(tr.threads[1].addrs[~tr.threads[1].is_write]).tolist())
+        assert len(r0 & r1) > 20
+
+    def test_gather_fraction(self):
+        no = probe(gather_period=0).trace(CASE)
+        yes = probe(gather_period=2).trace(CASE)
+        assert yes.total_accesses > no.total_accesses
+
+
+class TestStackAndMerge:
+    def test_stack_adds_private_hot_traffic(self):
+        with_stack = probe(stack_every=1).trace(CASE)
+        without = probe(stack_every=0).trace(CASE)
+        assert with_stack.total_accesses > 1.25 * without.total_accesses
+
+        # the stack slots are private (hot write lines disjoint; the rare
+        # shared sync-word writes fall under the hotness threshold)
+        def hot_writes(tid):
+            t = with_stack.threads[tid]
+            lines, counts = np.unique(line_of(t.addrs[t.is_write]),
+                                      return_counts=True)
+            return set(lines[counts > 100].tolist())
+
+        assert not (hot_writes(0) & hot_writes(1))
+
+    def test_merge_rmws_share_lines_across_threads(self):
+        tr = probe(merge_rmws=32).trace(CASE)
+        tails = [t.addrs[-70:] for t in tr.threads]  # before sync insertions
+        tail_lines = [set(line_of(a).tolist()) for a in tails]
+        assert tail_lines[0] & tail_lines[1]
+
+    def test_merge_constant_per_thread(self):
+        small = probe(merge_rmws=32, iters=2_000).trace(CASE)
+        large = probe(merge_rmws=32, iters=8_000).trace(CASE)
+        # merge adds the same absolute accesses regardless of iters
+        delta_small = small.total_accesses - probe(
+            merge_rmws=0, iters=2_000).trace(CASE).total_accesses
+        delta_large = large.total_accesses - probe(
+            merge_rmws=0, iters=8_000).trace(CASE).total_accesses
+        # sync insertions differ slightly; allow small tolerance
+        assert abs(delta_small - delta_large) < 16
+
+
+class TestOptEffects:
+    def test_instruction_scale_applied(self):
+        o0 = probe().trace(SuiteCase("in", "-O0", 4))
+        o2 = probe().trace(SuiteCase("in", "-O2", 4))
+        assert o0.total_instructions > 1.5 * o2.total_instructions
+        assert o0.total_accesses == o2.total_accesses
+
+
+class TestHelpers:
+    def test_kb_mb(self):
+        assert kb(4) == 4096
+        assert mb(1) == 1 << 20
+        assert kb(0.5) == 512

@@ -1,0 +1,103 @@
+"""Tests for the PARSEC benchmark models."""
+
+import numpy as np
+import pytest
+
+from repro.memory.layout import line_of
+from repro.suites import get_program, parsec_programs
+from repro.suites.base import SuiteCase
+
+
+class TestStreamCluster:
+    def test_padding_bug_packs_two_threads_per_line(self):
+        sc = get_program("streamcluster")
+        tr = sc.trace(SuiteCase("simsmall", "-O2", 4))
+        # threads 0 and 1 (structs 32 bytes apart) share a line
+        def struct_write_lines(tid):
+            t = tr.threads[tid]
+            lines, counts = np.unique(line_of(t.addrs[t.is_write]),
+                                      return_counts=True)
+            return set(lines[counts > 10].tolist())
+        assert struct_write_lines(0) & struct_write_lines(1)
+
+    def test_contention_pressure_falls_with_input(self):
+        sc = get_program("streamcluster")
+        small = sc.trace(SuiteCase("simsmall", "-O2", 4))
+        large = sc.trace(SuiteCase("simlarge", "-O2", 4))
+        def write_frac(tr):
+            return (sum(t.n_writes for t in tr.threads)
+                    / tr.total_accesses)
+        assert write_frac(small) > write_frac(large)
+
+    def test_spin_only_at_simsmall_t12(self):
+        sc = get_program("streamcluster")
+        spin = sum(t.extra_instructions for t in
+                   sc.trace(SuiteCase("simsmall", "-O1", 12)).threads)
+        no_spin = sum(t.extra_instructions for t in
+                      sc.trace(SuiteCase("simlarge", "-O1", 12)).threads)
+        low_t = sum(t.extra_instructions for t in
+                    sc.trace(SuiteCase("simsmall", "-O1", 8)).threads)
+        assert spin > 0
+        assert no_spin == 0
+        assert low_t == 0
+
+    def test_spin_nondeterministic_across_reps(self):
+        sc = get_program("streamcluster")
+        case = SuiteCase("simsmall", "-O1", 12)
+        spins = {sum(t.extra_instructions for t in
+                     sc.trace(case.with_(rep=r)).threads)
+                 for r in range(5)}
+        assert len(spins) > 1
+
+    def test_native_has_big_per_thread_working_set(self):
+        sc = get_program("streamcluster")
+        tr = sc.trace(SuiteCase("native", "-O2", 8))
+        # per-thread gather footprint must exceed the scaled L2 (1024 lines)
+        assert tr.threads[0].footprint_lines() > 2000
+
+    def test_cache_key_includes_rep(self):
+        sc = get_program("streamcluster")
+        a = sc.cache_key(SuiteCase("simsmall", "-O1", 12, rep=0))
+        b = sc.cache_key(SuiteCase("simsmall", "-O1", 12, rep=1))
+        assert a != b
+
+    def test_deterministic_program_cache_key_ignores_rep(self):
+        bs = get_program("blackscholes")
+        a = bs.cache_key(SuiteCase("simsmall", "-O1", 4, rep=0))
+        b = bs.cache_key(SuiteCase("simsmall", "-O1", 4, rep=1))
+        assert a == b
+
+
+class TestGoodParsec:
+    @pytest.mark.parametrize("name", [
+        "ferret", "swaptions", "vips", "bodytrack", "freqmine",
+        "blackscholes", "raytrace", "x264",
+    ])
+    def test_traces_generate_for_all(self, name):
+        p = get_program(name)
+        tr = p.trace(SuiteCase("simsmall", "-O2", 4))
+        assert tr.nthreads == 4
+        assert tr.total_accesses > 1000
+
+    def test_canneal_fluidanimate_have_weak_packed_state(self):
+        """SHERIFF-style insignificant false sharing: shared write lines
+        exist but carry very few writes."""
+        for name in ("canneal", "fluidanimate"):
+            p = get_program(name)
+            tr = p.trace(SuiteCase("simmedium", "-O2", 4))
+            w0 = set(line_of(
+                tr.threads[0].addrs[tr.threads[0].is_write]).tolist())
+            w1 = set(line_of(
+                tr.threads[1].addrs[tr.threads[1].is_write]).tolist())
+            shared = w0 & w1
+            assert shared, name
+            t0 = tr.threads[0]
+            shared_writes = np.isin(line_of(t0.addrs), list(shared))
+            frac = (shared_writes & t0.is_write).sum() / t0.n_writes
+            assert frac < 0.05, name
+
+    def test_input_scale_increases_work(self):
+        for p in parsec_programs():
+            small = p.trace(SuiteCase("simsmall", "-O2", 4))
+            native = p.trace(SuiteCase("native", "-O2", 4))
+            assert native.total_accesses > 2 * small.total_accesses, p.name

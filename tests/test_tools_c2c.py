@@ -1,0 +1,133 @@
+"""Tests for the perf-c2c-style HITM sampling report."""
+
+import numpy as np
+import pytest
+
+from repro.coherence.machine import MulticoreMachine
+from repro.errors import PMUError
+from repro.tools.c2c import C2CLine, C2CReport, c2c_report
+from repro.trace.access import ProgramTrace, make_thread
+from repro.workloads.base import RunConfig
+from repro.workloads.registry import get_workload
+
+from tests.conftest import SMALL_SPEC
+
+
+def sample(req, hold, addr, w=True):
+    return (req, hold, addr, w)
+
+
+class TestAggregation:
+    def test_groups_by_line(self):
+        rep = c2c_report([
+            sample(0, 1, 4096), sample(1, 0, 4104), sample(0, 1, 8192),
+        ])
+        assert len(rep.lines) == 2
+        assert rep.lines[0].samples == 2  # hottest first
+
+    def test_offsets_tracked(self):
+        rep = c2c_report([sample(0, 1, 4096), sample(1, 0, 4104)])
+        cl = rep.lines[0]
+        assert set(cl.offsets) == {0, 8}
+
+    def test_store_fraction(self):
+        rep = c2c_report([sample(0, 1, 4096, True),
+                          sample(1, 0, 4096, False)])
+        assert rep.lines[0].write_samples == 1
+
+    def test_requesters_and_holders(self):
+        rep = c2c_report([sample(0, 1, 4096), sample(2, 0, 4096)])
+        cl = rep.lines[0]
+        assert set(cl.requesters) == {0, 2}
+        assert set(cl.holders) == {0, 1}
+        assert cl.n_cpus == 3
+
+    def test_empty_samples(self):
+        rep = c2c_report([])
+        assert rep.lines == []
+        assert rep.total_samples == 0
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(PMUError):
+            c2c_report([], sample_period=0)
+
+
+class TestSharingKind:
+    def test_disjoint_offsets_false_sharing(self):
+        rep = c2c_report([sample(0, 1, 4096), sample(1, 0, 4104)])
+        assert rep.lines[0].sharing_kind == "false-sharing-suspect"
+
+    def test_single_offset_true_sharing(self):
+        rep = c2c_report([sample(0, 1, 4096), sample(1, 0, 4096)])
+        assert rep.lines[0].sharing_kind == "true-sharing-suspect"
+
+    def test_suspect_filter(self):
+        rep = c2c_report([
+            sample(0, 1, 4096), sample(1, 0, 4104),   # false sharing
+            sample(0, 1, 8192), sample(1, 0, 8192),   # true sharing
+        ])
+        suspects = rep.false_sharing_suspects()
+        assert [cl.line for cl in suspects] == [64]
+
+
+class TestMachineIntegration:
+    def test_sampling_disabled_by_default(self, machine):
+        t0 = make_thread(np.full(100, 4096, dtype=np.int64),
+                         np.ones(100, bool))
+        t1 = make_thread(np.full(100, 4104, dtype=np.int64),
+                         np.ones(100, bool))
+        res = machine.run(ProgramTrace([t0, t1]))
+        assert res.hitm_samples == []
+
+    def test_sampling_period_respected(self):
+        m = MulticoreMachine(SMALL_SPEC, hitm_sample_period=5)
+        t0 = make_thread(np.full(500, 4096, dtype=np.int64),
+                         np.ones(500, bool))
+        t1 = make_thread(np.full(500, 4104, dtype=np.int64),
+                         np.ones(500, bool))
+        res = m.run(ProgramTrace([t0, t1]))
+        hitm = res.counts["SNOOP_RESPONSE.HITM"]
+        assert hitm > 0
+        assert len(res.hitm_samples) == pytest.approx(hitm / 5, abs=1)
+
+    def test_negative_period_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            MulticoreMachine(SMALL_SPEC, hitm_sample_period=-1)
+
+    def test_end_to_end_finds_the_psum_line(self):
+        """Sampled c2c attribution agrees with ground truth on pdot."""
+        from repro.coherence.machine import SCALED_WESTMERE
+
+        m = MulticoreMachine(SCALED_WESTMERE, hitm_sample_period=11)
+        pdot = get_workload("pdot")
+        tr = pdot.trace(RunConfig(threads=4, mode="bad-fs", size=65_536))
+        res = m.run(tr)
+        rep = c2c_report(res.hitm_samples, sample_period=11)
+        suspects = rep.false_sharing_suspects()
+        assert suspects, "the packed psum line must be flagged"
+        top = suspects[0]
+        # 4 threads fight over it at 4 distinct 4-byte offsets
+        assert top.n_cpus == 4
+        assert len(top.offsets) >= 3
+
+    def test_good_run_produces_few_samples(self):
+        from repro.coherence.machine import SCALED_WESTMERE
+
+        m = MulticoreMachine(SCALED_WESTMERE, hitm_sample_period=1)
+        pdot = get_workload("pdot")
+        bad = m.run(pdot.trace(RunConfig(threads=4, mode="bad-fs",
+                                         size=65_536)))
+        good = m.run(pdot.trace(RunConfig(threads=4, mode="good",
+                                          size=65_536)))
+        assert len(good.hitm_samples) < len(bad.hitm_samples) / 20
+
+
+class TestRender:
+    def test_render_contains_key_columns(self):
+        rep = c2c_report([sample(0, 1, 4096), sample(1, 0, 4104)])
+        out = rep.render()
+        assert "Shared Data Cache Line Table" in out
+        assert "0x1000" in out
+        assert "false-sharing-suspect" in out

@@ -1,0 +1,105 @@
+"""Tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.access import ProgramTrace, ThreadTrace, empty_thread, make_thread
+
+
+def _trace(n=10, writes_every=2, ipa=3.0, extra=0):
+    addrs = np.arange(n, dtype=np.int64) * 8
+    writes = np.zeros(n, dtype=bool)
+    writes[::writes_every] = True
+    return ThreadTrace(addrs, writes, instr_per_access=ipa,
+                       extra_instructions=extra)
+
+
+class TestThreadTrace:
+    def test_basic_counts(self):
+        t = _trace(10, writes_every=2)
+        assert t.n_accesses == 10
+        assert t.n_writes == 5
+        assert t.n_reads == 5
+
+    def test_instructions(self):
+        t = _trace(10, ipa=3.0, extra=7)
+        assert t.instructions == 37
+
+    def test_footprint_lines(self):
+        t = make_thread(np.array([0, 8, 64, 65]))
+        assert t.footprint_lines() == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            ThreadTrace(np.zeros(3, np.int64), np.zeros(2, bool))
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceError):
+            make_thread(np.array([-1]))
+
+    def test_ipa_below_one_rejected(self):
+        with pytest.raises(TraceError):
+            ThreadTrace(np.zeros(1, np.int64), np.zeros(1, bool),
+                        instr_per_access=0.5)
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(TraceError):
+            ThreadTrace(np.zeros(1, np.int64), np.zeros(1, bool),
+                        extra_instructions=-1)
+
+    def test_2d_rejected(self):
+        with pytest.raises(TraceError):
+            ThreadTrace(np.zeros((2, 2), np.int64), np.zeros((2, 2), bool))
+
+    def test_concat_preserves_instructions(self):
+        a = _trace(10, ipa=2.0, extra=5)
+        b = _trace(20, ipa=4.0, extra=1)
+        c = a.concat(b)
+        assert c.n_accesses == 30
+        assert c.instructions == pytest.approx(a.instructions + b.instructions,
+                                               abs=1)
+
+    def test_concat_empty(self):
+        e = empty_thread()
+        c = e.concat(e)
+        assert c.n_accesses == 0
+
+    def test_empty_thread_instructions(self):
+        assert empty_thread(instr=42).instructions == 42
+
+
+class TestProgramTrace:
+    def test_aggregates(self):
+        p = ProgramTrace([_trace(10), _trace(20)])
+        assert p.nthreads == 2
+        assert p.total_accesses == 30
+        assert p.total_instructions == 90
+
+    def test_footprint_union(self):
+        t1 = make_thread(np.array([0, 8]))       # line 0
+        t2 = make_thread(np.array([64, 128]))    # lines 1, 2
+        assert ProgramTrace([t1, t2]).footprint_lines() == 3
+
+    def test_meta_is_carried(self):
+        p = ProgramTrace([_trace()], name="x", meta={"k": 1})
+        assert p.name == "x"
+        assert p.meta["k"] == 1
+
+    def test_empty_threads_rejected(self):
+        with pytest.raises(TraceError):
+            ProgramTrace([])
+
+    def test_non_trace_rejected(self):
+        with pytest.raises(TraceError):
+            ProgramTrace(["nope"])
+
+
+class TestMakeThread:
+    def test_default_all_loads(self):
+        t = make_thread(np.array([1, 2, 3]))
+        assert t.n_writes == 0
+
+    def test_explicit_writes(self):
+        t = make_thread(np.array([1, 2]), np.array([True, False]))
+        assert t.n_writes == 1

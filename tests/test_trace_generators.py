@@ -1,0 +1,110 @@
+"""Tests for access-pattern generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceError
+from repro.trace.generators import (
+    interleave_streams,
+    linear_indices,
+    permuted_indices,
+    random_indices,
+    strided_indices,
+    tiled_indices,
+)
+from repro.utils.rng import rng_for
+
+
+class TestLinear:
+    def test_simple(self):
+        assert (linear_indices(4, 10) == [0, 1, 2, 3]).all()
+
+    def test_wraps(self):
+        assert (linear_indices(5, 3) == [0, 1, 2, 0, 1]).all()
+
+    def test_empty(self):
+        assert linear_indices(0, 5).size == 0
+
+    def test_bad_args(self):
+        with pytest.raises(TraceError):
+            linear_indices(-1, 5)
+        with pytest.raises(TraceError):
+            linear_indices(5, 0)
+
+
+class TestStrided:
+    def test_stride_pattern(self):
+        assert (strided_indices(4, 8, 2) == [0, 2, 4, 6]).all()
+
+    def test_coprime_stride_covers_everything(self):
+        idx = strided_indices(10, 10, 3)
+        assert set(idx.tolist()) == set(range(10))
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(TraceError):
+            strided_indices(4, 8, 0)
+
+    @given(st.integers(1, 50), st.integers(1, 50), st.integers(1, 7))
+    def test_all_in_range(self, n, length, stride):
+        idx = strided_indices(n, length, stride)
+        assert ((idx >= 0) & (idx < length)).all()
+
+
+class TestRandomAndPermuted:
+    def test_random_in_range(self):
+        idx = random_indices(100, 7, rng_for("t"))
+        assert ((idx >= 0) & (idx < 7)).all()
+
+    def test_permuted_visits_each_exactly_once_per_sweep(self):
+        idx = permuted_indices(10, 10, rng_for("t"))
+        assert sorted(idx.tolist()) == list(range(10))
+
+    def test_permuted_multiple_sweeps(self):
+        idx = permuted_indices(20, 10, rng_for("t"))
+        counts = np.bincount(idx, minlength=10)
+        assert (counts == 2).all()
+
+    def test_permuted_partial_sweep(self):
+        idx = permuted_indices(7, 10, rng_for("t"))
+        assert idx.size == 7
+        assert len(set(idx.tolist())) == 7
+
+    def test_deterministic_with_same_rng_seed(self):
+        a = permuted_indices(16, 16, rng_for("s"))
+        b = permuted_indices(16, 16, rng_for("s"))
+        assert (a == b).all()
+
+
+class TestTiled:
+    def test_tile_structure(self):
+        idx = tiled_indices(8, 8, 4)
+        # visits a 4-element tile before jumping
+        assert (idx[:4] == [0, 1, 2, 3]).all()
+
+    def test_in_range(self):
+        idx = tiled_indices(100, 32, 8)
+        assert ((idx >= 0) & (idx < 32)).all()
+
+    def test_bad_tile(self):
+        with pytest.raises(TraceError):
+            tiled_indices(8, 8, 0)
+
+
+class TestInterleaveStreams:
+    def test_round_robin(self):
+        a = np.array([1, 2], dtype=np.int64)
+        b = np.array([10, 20], dtype=np.int64)
+        assert (interleave_streams(a, b) == [1, 10, 2, 20]).all()
+
+    def test_single_stream_identity(self):
+        a = np.array([5, 6], dtype=np.int64)
+        assert (interleave_streams(a) == a).all()
+
+    def test_unequal_rejected(self):
+        with pytest.raises(TraceError):
+            interleave_streams(np.zeros(2, np.int64), np.zeros(3, np.int64))
+
+    def test_no_streams_rejected(self):
+        with pytest.raises(TraceError):
+            interleave_streams()

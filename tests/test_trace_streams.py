@@ -1,0 +1,94 @@
+"""Tests for the chunked round-robin interleaver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.trace.access import ProgramTrace, make_thread
+from repro.trace.streams import interleave
+
+
+def _prog(lengths, base_step=1000):
+    threads = []
+    for i, n in enumerate(lengths):
+        addrs = np.arange(n, dtype=np.int64) + i * base_step
+        threads.append(make_thread(addrs))
+    return ProgramTrace(threads)
+
+
+class TestInterleave:
+    def test_round_robin_chunks(self):
+        m = interleave(_prog([8, 8]), chunk=4)
+        assert m.core[:12].tolist() == [0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_preserves_all_accesses(self):
+        prog = _prog([10, 7, 3])
+        m = interleave(prog, chunk=4)
+        assert len(m) == 20
+
+    def test_per_thread_order_preserved(self):
+        prog = _prog([13, 9])
+        m = interleave(prog, chunk=4)
+        for tid in range(2):
+            sel = m.core == tid
+            assert (m.addr[sel] == prog.threads[tid].addrs).all()
+
+    def test_single_thread_passthrough(self):
+        prog = _prog([5])
+        m = interleave(prog)
+        assert (m.addr == prog.threads[0].addrs).all()
+        assert (m.core == 0).all()
+
+    def test_unequal_lengths_finish_early(self):
+        m = interleave(_prog([8, 2]), chunk=2)
+        # thread 1 contributes only its 2 accesses, in round 0
+        assert (m.core == 1).sum() == 2
+        assert m.core[-1] == 0
+
+    def test_writes_travel_with_addresses(self):
+        a = make_thread(np.array([1, 2]), np.array([True, False]))
+        b = make_thread(np.array([3]), np.array([True]))
+        m = interleave(ProgramTrace([a, b]), chunk=1)
+        for addr, w in [(1, True), (2, False), (3, True)]:
+            idx = int(np.flatnonzero(m.addr == addr)[0])
+            assert m.is_write[idx] == w
+
+    def test_chunk_one_alternates(self):
+        m = interleave(_prog([3, 3]), chunk=1)
+        assert m.core.tolist() == [0, 1, 0, 1, 0, 1]
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(TraceError):
+            interleave(_prog([2, 2]), chunk=0)
+
+    def test_empty_threads(self):
+        prog = ProgramTrace([make_thread(np.array([], dtype=np.int64)),
+                             make_thread(np.array([], dtype=np.int64))])
+        m = interleave(prog)
+        assert len(m) == 0
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.integers(0, 40), min_size=2, max_size=5),
+        st.integers(1, 8),
+    )
+    def test_merge_is_a_permutation(self, lengths, chunk):
+        if sum(lengths) == 0:
+            return
+        prog = _prog(lengths)
+        m = interleave(prog, chunk=chunk)
+        assert len(m) == sum(lengths)
+        all_addrs = np.concatenate([t.addrs for t in prog.threads])
+        assert sorted(m.addr.tolist()) == sorted(all_addrs.tolist())
+
+    @settings(max_examples=25)
+    @given(st.integers(1, 6))
+    def test_fairness_within_rounds(self, chunk):
+        # With equal-length threads, after the merge every prefix contains
+        # roughly equal work from each thread (within one chunk).
+        prog = _prog([24, 24, 24])
+        m = interleave(prog, chunk=chunk)
+        for cut in range(0, 72, 12):
+            counts = np.bincount(m.core[:cut + 12], minlength=3)
+            assert counts.max() - counts.min() <= chunk

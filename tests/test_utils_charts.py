@@ -1,0 +1,79 @@
+"""Tests for terminal charts."""
+
+import pytest
+
+from repro.utils.charts import hbar_chart, series_chart, sparkline
+
+
+class TestHBar:
+    def test_renders_all_rows(self):
+        out = hbar_chart(["a", "bb"], [1.0, 2.0])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "a" in lines[0] and "bb" in lines[1]
+
+    def test_longest_bar_for_largest_value(self):
+        out = hbar_chart(["a", "b"], [1.0, 4.0], width=40)
+        bars = [l.count("#") for l in out.splitlines()]
+        assert bars[1] == 40
+        assert bars[0] == 10
+
+    def test_zero_value_empty_bar(self):
+        out = hbar_chart(["z"], [0.0])
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_title_and_unit(self):
+        out = hbar_chart(["a"], [2.5], title="T", unit="ms")
+        assert out.splitlines()[0] == "T"
+        assert "2.5ms" in out
+
+    def test_log_scale_compresses(self):
+        lin = hbar_chart(["a", "b"], [1.0, 1000.0], width=40)
+        log = hbar_chart(["a", "b"], [1.0, 1000.0], width=40, log=True)
+        lin_small = lin.splitlines()[0].count("#")
+        log_small = log.splitlines()[0].count("#")
+        assert log_small > lin_small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hbar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            hbar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            hbar_chart(["a"], [1.0], width=2)
+
+    def test_empty(self):
+        assert "(no data)" in hbar_chart([], [])
+
+
+class TestSeries:
+    def test_groups_and_series(self):
+        out = series_chart(["T=1", "T=4"],
+                           {"good": [4.0, 1.0], "bad": [4.0, 4.0]})
+        assert out.count("T=") == 2
+        assert out.count("good") == 2
+        assert out.count("bad") == 2
+
+    def test_flat_series_constant_bars(self):
+        out = series_chart(["a", "b", "c"], {"flat": [2.0, 2.0, 2.0]})
+        bars = [l.count("#") for l in out.splitlines() if "#" in l]
+        assert len(set(bars)) == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            series_chart(["a"], {"s": [1.0, 2.0]})
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_values_monotone_blocks(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s == " .:-=+*#"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_empty(self):
+        assert sparkline([]) == ""

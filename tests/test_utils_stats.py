@@ -1,0 +1,82 @@
+"""Tests for statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import geometric_mean, majority, mean_ci, ratio, tally
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=20))
+    def test_between_min_and_max(self, vals):
+        g = geometric_mean(vals)
+        assert min(vals) * 0.999 <= g <= max(vals) * 1.001
+
+
+class TestRatio:
+    def test_symmetric(self):
+        assert ratio(2, 10) == ratio(10, 2) == pytest.approx(5.0)
+
+    def test_equal_values(self):
+        assert ratio(3.3, 3.3) == pytest.approx(1.0)
+
+    def test_zero_guarded(self):
+        assert ratio(0.0, 1.0) > 1e6  # huge but finite
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ratio(-1.0, 2.0)
+
+    @given(st.floats(1e-6, 1e6), st.floats(1e-6, 1e6))
+    def test_always_at_least_one(self, a, b):
+        assert ratio(a, b) >= 1.0
+
+
+class TestMajority:
+    def test_clear_winner(self):
+        assert majority(["a", "b", "a"]) == "a"
+
+    def test_tie_breaks_deterministically(self):
+        assert majority(["b", "a"]) == majority(["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority([])
+
+    def test_tally(self):
+        assert tally(["x", "y", "x"]) == {"x": 2, "y": 1}
+        assert tally([]) == {}
+
+
+class TestMeanCI:
+    def test_single_value(self):
+        m, h = mean_ci([5.0])
+        assert m == 5.0 and h == 0.0
+
+    def test_mean_correct(self):
+        m, h = mean_ci([1.0, 3.0])
+        assert m == pytest.approx(2.0)
+        assert h > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_tighter_with_more_samples(self):
+        rng = np.random.default_rng(0)
+        small = mean_ci(rng.normal(0, 1, 10))[1]
+        large = mean_ci(rng.normal(0, 1, 1000))[1]
+        assert large < small

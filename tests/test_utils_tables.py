@@ -1,0 +1,61 @@
+"""Tests for table rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.tables import render_grid, render_table
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 6  # rule, header, rule, 2 rows, rule
+
+    def test_title_prepended(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+    def test_column_alignment_consistent(self):
+        out = render_table(["col"], [[1], [100000]])
+        rows = [l for l in out.splitlines() if l.startswith("|")]
+        widths = {len(r) for r in rows}
+        assert len(widths) == 1
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-10**6, 10**6), min_size=2, max_size=2),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_all_cells_present(self, rows):
+        out = render_table(["a", "b"], rows)
+        for row in rows:
+            for cell in row:
+                assert str(cell) in out
+
+
+class TestRenderGrid:
+    def test_row_and_col_labels(self):
+        out = render_grid(["r1", "r2"], ["c1", "c2"], [[1, 2], [3, 4]],
+                          corner="x")
+        assert "r1" in out and "c2" in out and "x" in out
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            render_grid(["r1"], ["c1"], [[1], [2]])

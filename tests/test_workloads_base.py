@@ -1,0 +1,132 @@
+"""Tests for workload abstractions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError, WorkloadError
+from repro.workloads.base import (
+    Mode,
+    RunConfig,
+    ordered_visit,
+    parse_mode,
+    partition,
+    stride_of,
+)
+from repro.utils.rng import rng_for
+
+
+class TestMode:
+    def test_parse_strings(self):
+        assert parse_mode("good") is Mode.GOOD
+        assert parse_mode("bad-fs") is Mode.BAD_FS
+        assert parse_mode("bad-ma") is Mode.BAD_MA
+
+    def test_parse_mode_passthrough(self):
+        assert parse_mode(Mode.GOOD) is Mode.GOOD
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_mode("terrible")
+
+
+class TestRunConfig:
+    def test_defaults(self):
+        cfg = RunConfig()
+        assert cfg.threads == 1
+        assert cfg.mode is Mode.GOOD
+
+    def test_string_mode_coerced(self):
+        assert RunConfig(mode="bad-fs").mode is Mode.BAD_FS
+
+    def test_run_id_distinguishes_reps(self):
+        a = RunConfig(rep=0).run_id()
+        b = RunConfig(rep=1).run_id()
+        assert a != b
+
+    def test_with_(self):
+        cfg = RunConfig(threads=2).with_(threads=4)
+        assert cfg.threads == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RunConfig(threads=0)
+        with pytest.raises(ConfigError):
+            RunConfig(size=0)
+        with pytest.raises(ConfigError):
+            RunConfig(pattern="zigzag")
+        with pytest.raises(ConfigError):
+            RunConfig(rep=-1)
+
+    def test_hashable(self):
+        assert hash(RunConfig()) == hash(RunConfig())
+
+
+class TestStrideOf:
+    def test_values(self):
+        assert stride_of("linear") == 1
+        assert stride_of("stride4") == 4
+        assert stride_of("stride16") == 16
+
+    def test_rejects(self):
+        with pytest.raises(ConfigError):
+            stride_of("random")
+        with pytest.raises(ConfigError):
+            stride_of("stride1")
+        with pytest.raises(ConfigError):
+            stride_of("strideX")
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_uneven_split(self):
+        bounds = partition(10, 3)
+        sizes = [e - s for s, e in bounds]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_items(self):
+        bounds = partition(2, 4)
+        assert bounds[0] == (0, 1)
+        assert bounds[-1] == (2, 2)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            partition(5, 0)
+
+    @given(st.integers(0, 1000), st.integers(1, 16))
+    def test_covers_range_without_overlap(self, total, parts):
+        bounds = partition(total, parts)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == total
+        for (s1, e1), (s2, e2) in zip(bounds, bounds[1:]):
+            assert e1 == s2
+
+
+class TestOrderedVisit:
+    def test_good_is_linear(self):
+        out = ordered_visit(8, Mode.GOOD, "random", rng_for("x"))
+        assert (out == np.arange(8)).all()
+
+    def test_bad_fs_is_linear_too(self):
+        out = ordered_visit(8, Mode.BAD_FS, "random", rng_for("x"))
+        assert (out == np.arange(8)).all()
+
+    def test_bad_ma_random_is_permutation(self):
+        out = ordered_visit(32, Mode.BAD_MA, "random", rng_for("x"))
+        assert sorted(out.tolist()) == list(range(32))
+        assert (out != np.arange(32)).any()
+
+    def test_bad_ma_stride_visits_each_once(self):
+        out = ordered_visit(16, Mode.BAD_MA, "stride4", rng_for("x"))
+        assert sorted(out.tolist()) == list(range(16))
+        assert out[1] - out[0] == 4
+
+    @given(st.integers(1, 200),
+           st.sampled_from(["random", "stride2", "stride4", "stride8"]))
+    def test_same_computation_property(self, n, pattern):
+        """bad-ma reorders but never changes the set of visited indices."""
+        out = ordered_visit(n, Mode.BAD_MA, pattern, rng_for("p", n))
+        assert sorted(out.tolist()) == list(range(n))

@@ -1,0 +1,162 @@
+"""Tests for the multi-threaded mini-programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.memory.layout import line_of
+from repro.workloads.base import Mode, RunConfig
+from repro.workloads.registry import get_workload, mt_miniprograms
+
+ALL_MT = ("psums", "padding", "false1", "psumv", "pdot", "count",
+          "pmatmult", "pmatcompare")
+
+
+def cfg(mode="good", threads=4, size=None, name="psums", pattern="random"):
+    w = get_workload(name)
+    return w, RunConfig(threads=threads, mode=mode,
+                        size=size or w.train_sizes[0], pattern=pattern)
+
+
+class TestRegistry:
+    def test_all_eight_registered(self):
+        assert {w.name for w in mt_miniprograms()} == set(ALL_MT)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("bogus")
+
+
+class TestTraceShape:
+    @pytest.mark.parametrize("name", ALL_MT)
+    def test_one_trace_per_thread(self, name):
+        w, c = cfg(name=name, threads=3)
+        tr = w.trace(c)
+        assert tr.nthreads == 3
+        for t in tr.threads:
+            assert t.n_accesses > 0
+
+    @pytest.mark.parametrize("name", ALL_MT)
+    def test_meta_fields(self, name):
+        w, c = cfg(name=name, threads=3)
+        tr = w.trace(c)
+        assert tr.meta["workload"] == name
+        assert tr.meta["mode"] == "good"
+        assert tr.meta["threads"] == 3
+
+    @pytest.mark.parametrize("name", ALL_MT)
+    def test_deterministic(self, name):
+        w, c = cfg(name=name, threads=3)
+        a, b = w.trace(c), w.trace(c)
+        for ta, tb in zip(a.threads, b.threads):
+            assert (ta.addrs == tb.addrs).all()
+            assert (ta.is_write == tb.is_write).all()
+
+    @pytest.mark.parametrize("name", ALL_MT)
+    def test_rep_does_not_change_computation(self, name):
+        w, c = cfg(name=name, threads=3)
+        a = w.trace(c)
+        b = w.trace(c.with_(rep=5))
+        for ta, tb in zip(a.threads, b.threads):
+            assert (ta.addrs == tb.addrs).all()
+
+
+class TestModeSemantics:
+    @pytest.mark.parametrize("name", ALL_MT)
+    def test_same_computation_across_modes(self, name):
+        """good and bad-fs traces have identical access & instruction counts
+        (placement differs, work does not)."""
+        w = get_workload(name)
+        size = w.train_sizes[0]
+        good = w.trace(RunConfig(threads=4, mode="good", size=size))
+        bad = w.trace(RunConfig(threads=4, mode="bad-fs", size=size))
+        assert good.total_accesses == bad.total_accesses
+        assert good.total_instructions == bad.total_instructions
+
+    @pytest.mark.parametrize("name", ("psumv", "pdot", "count", "pmatcompare"))
+    def test_bad_ma_same_computation(self, name):
+        w = get_workload(name)
+        size = w.train_sizes[0]
+        good = w.trace(RunConfig(threads=4, mode="good", size=size))
+        bad = w.trace(RunConfig(threads=4, mode="bad-ma", size=size))
+        assert good.total_accesses == bad.total_accesses
+        assert good.total_instructions == bad.total_instructions
+
+    @pytest.mark.parametrize("name", ("psums", "padding", "false1"))
+    def test_scalar_programs_reject_bad_ma(self, name):
+        w = get_workload(name)
+        with pytest.raises(WorkloadError):
+            w.trace(RunConfig(threads=4, mode="bad-ma",
+                              size=w.train_sizes[0]))
+
+    @pytest.mark.parametrize("name", ("psums", "false1", "psumv", "count"))
+    def test_bad_fs_slots_share_lines(self, name):
+        """In bad-fs mode, different threads write the same cache line."""
+        w = get_workload(name)
+        tr = w.trace(RunConfig(threads=4, mode="bad-fs",
+                               size=w.train_sizes[0]))
+        write_lines = [set(line_of(t.addrs[t.is_write]).tolist())
+                       for t in tr.threads]
+        assert write_lines[0] & write_lines[1]
+
+    @pytest.mark.parametrize("name", ("psums", "false1", "psumv", "count"))
+    def test_good_slots_disjoint_lines(self, name):
+        """In good mode, hot per-thread writes land on private lines (only
+        the rare sync word is shared)."""
+        w = get_workload(name)
+        tr = w.trace(RunConfig(threads=4, mode="good", size=w.train_sizes[0]))
+        hot_write_lines = []
+        for t in tr.threads:
+            lines, counts = np.unique(line_of(t.addrs[t.is_write]),
+                                      return_counts=True)
+            # "hot" = clearly more than sync-word traffic
+            hot_write_lines.append(set(lines[counts > 50].tolist()))
+        assert not (hot_write_lines[0] & hot_write_lines[1])
+
+    def test_bad_fs_single_thread_allowed(self):
+        # Table 1 runs Method 2 sequentially: packed layout, no sharing.
+        w = get_workload("pdot")
+        tr = w.trace(RunConfig(threads=1, mode="bad-fs", size=1024))
+        assert tr.nthreads == 1
+
+
+class TestSpecifics:
+    def test_false1_is_store_only(self):
+        w, c = cfg(name="false1", threads=2, size=500)
+        tr = w.trace(c)
+        t = tr.threads[0]
+        # stores dominate: only sync loads are reads
+        assert t.n_writes > 0.95 * t.n_accesses / 2
+
+    def test_padding_touches_two_fields(self):
+        w, c = cfg(name="padding", threads=2, size=100)
+        t = w.trace(c).threads[0]
+        slots = set(t.addrs.tolist())
+        # two slot fields plus the sync word
+        assert len({a for a in slots}) >= 2
+
+    def test_pdot_has_two_vector_loads_per_iter(self):
+        w, c = cfg(name="pdot", threads=2, size=4096)
+        t = w.trace(c).threads[0]
+        # 4 accesses per iteration: 2 loads, 1 slot load, 1 slot store
+        assert t.n_writes == pytest.approx(t.n_accesses / 4, rel=0.05)
+
+    def test_count_predicate_fraction(self):
+        w, c = cfg(name="count", threads=2, size=65536)
+        t = w.trace(c).threads[0]
+        # writes happen on ~1/64 of iterations
+        frac = t.n_writes / (t.n_accesses - 2 * t.n_writes)
+        assert 0.5 / 64 < frac < 2.0 / 64
+
+    def test_pmatmult_bad_fs_interleaves_c_cells(self):
+        w = get_workload("pmatmult")
+        tr = w.trace(RunConfig(threads=4, mode="bad-fs", size=16))
+        wl = [set(line_of(t.addrs[t.is_write]).tolist()) for t in tr.threads]
+        assert wl[0] & wl[1]
+
+    def test_pmatmult_access_count_is_4n3(self):
+        n = 16
+        w = get_workload("pmatmult")
+        tr = w.trace(RunConfig(threads=2, mode="good", size=n))
+        total = tr.total_accesses
+        assert total == pytest.approx(4 * n**3, rel=0.02)

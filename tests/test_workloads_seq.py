@@ -1,0 +1,136 @@
+"""Tests for the sequential mini-programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Mode, RunConfig
+from repro.workloads.registry import get_workload, seq_miniprograms
+
+ALL_SEQ = ("seq_read", "seq_write", "seq_rmw", "seq_matmul")
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert {w.name for w in seq_miniprograms()} == set(ALL_SEQ)
+
+    @pytest.mark.parametrize("name", ALL_SEQ)
+    def test_modes_good_and_badma_only(self, name):
+        w = get_workload(name)
+        assert w.modes == frozenset({Mode.GOOD, Mode.BAD_MA})
+
+    @pytest.mark.parametrize("name", ALL_SEQ)
+    def test_multithread_rejected(self, name):
+        w = get_workload(name)
+        with pytest.raises(WorkloadError):
+            w.trace(RunConfig(threads=2, size=w.train_sizes[0]))
+
+
+class TestArrayPrograms:
+    def test_seq_read_all_loads(self):
+        w = get_workload("seq_read")
+        t = w.trace(RunConfig(size=1024)).threads[0]
+        assert t.n_writes == 0
+        assert t.n_accesses == 1024
+
+    def test_seq_write_all_stores(self):
+        w = get_workload("seq_write")
+        t = w.trace(RunConfig(size=1024)).threads[0]
+        assert t.n_writes == 1024
+
+    def test_seq_rmw_pairs(self):
+        w = get_workload("seq_rmw")
+        t = w.trace(RunConfig(size=512)).threads[0]
+        assert t.n_accesses == 1024
+        assert t.n_writes == 512
+        # load then store of the same address
+        assert (t.addrs[0::2] == t.addrs[1::2]).all()
+        assert (~t.is_write[0::2]).all() and t.is_write[1::2].all()
+
+    @pytest.mark.parametrize("name", ("seq_read", "seq_write", "seq_rmw"))
+    @pytest.mark.parametrize("pattern", ("random", "stride4"))
+    def test_bad_ma_same_computation(self, name, pattern):
+        w = get_workload(name)
+        good = w.trace(RunConfig(size=2048, mode="good"))
+        bad = w.trace(RunConfig(size=2048, mode="bad-ma", pattern=pattern))
+        assert good.total_accesses == bad.total_accesses
+        assert sorted(good.threads[0].addrs.tolist()) == \
+            sorted(bad.threads[0].addrs.tolist())
+
+    def test_bad_ma_reorders(self):
+        w = get_workload("seq_read")
+        good = w.trace(RunConfig(size=2048, mode="good"))
+        bad = w.trace(RunConfig(size=2048, mode="bad-ma", pattern="random"))
+        assert (good.threads[0].addrs != bad.threads[0].addrs).any()
+
+
+class TestSeqMatMul:
+    def test_access_count_both_modes(self):
+        w = get_workload("seq_matmul")
+        k = 256
+        good = w.trace(RunConfig(size=k, mode="good"))
+        bad = w.trace(RunConfig(size=k, mode="bad-ma"))
+        expected = 4 * w.m_rows * w.n_cols * k
+        assert good.total_accesses == expected
+        assert bad.total_accesses == expected
+
+    def test_same_multiset_of_addresses(self):
+        w = get_workload("seq_matmul")
+        good = w.trace(RunConfig(size=128, mode="good"))
+        bad = w.trace(RunConfig(size=128, mode="bad-ma"))
+        assert sorted(good.threads[0].addrs.tolist()) == \
+            sorted(bad.threads[0].addrs.tolist())
+
+    def test_good_b_walk_is_rowwise(self):
+        w = get_workload("seq_matmul")
+        t = w.trace(RunConfig(size=64, mode="good")).threads[0]
+        b_loads = t.addrs[1::4]
+        # within a row of B, consecutive loads are 8 bytes apart
+        diffs = np.diff(b_loads[: w.n_cols])
+        assert (diffs == 8).all()
+
+    def test_bad_b_walk_is_columnwise(self):
+        w = get_workload("seq_matmul")
+        t = w.trace(RunConfig(size=64, mode="bad-ma")).threads[0]
+        b_loads = t.addrs[1::4]
+        diffs = np.diff(b_loads[: 8])
+        assert (diffs == 8 * w.n_cols).all()  # one full row per step
+
+
+class TestArchitecturalEffects:
+    """The sequential programs must actually produce the cache behaviour
+    the paper's Section 2.2.2 relies on (simulated on the small test spec)."""
+
+    def _repl(self, machine, name, mode, pattern="random", size=16_384):
+        from repro.trace.access import ProgramTrace
+
+        w = get_workload(name)
+        cfg = RunConfig(threads=1, mode=mode, size=size, pattern=pattern)
+        res = machine.run(w.trace(cfg))
+        return res.normalized("L1D.REPL")
+
+    def test_random_order_misses_more(self, machine):
+        good = self._repl(machine, "seq_read", "good")
+        bad = self._repl(machine, "seq_read", "bad-ma", "random")
+        assert bad > 3 * good
+
+    def test_stride_defeats_prefetcher(self, machine):
+        good = self._repl(machine, "seq_read", "good")
+        bad = self._repl(machine, "seq_read", "bad-ma", "stride16")
+        assert bad > 3 * good
+
+    def test_wider_strides_not_cheaper(self, machine):
+        s2 = self._repl(machine, "seq_read", "bad-ma", "stride2")
+        s16 = self._repl(machine, "seq_read", "bad-ma", "stride16")
+        assert s16 >= s2
+
+    def test_matmul_loop_order_effect(self, machine):
+        from repro.trace.access import ProgramTrace
+
+        w = get_workload("seq_matmul")
+        good = machine.run(w.trace(RunConfig(threads=1, mode="good",
+                                             size=2_048)))
+        bad = machine.run(w.trace(RunConfig(threads=1, mode="bad-ma",
+                                            size=2_048)))
+        assert bad.normalized("L1D.REPL") > 2 * good.normalized("L1D.REPL")
+        assert bad.seconds > good.seconds
