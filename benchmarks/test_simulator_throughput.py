@@ -1,0 +1,142 @@
+"""Bench: simulator throughput and pipeline wall time, tracked over PRs.
+
+Measures (a) raw ``MulticoreMachine`` drive throughput in accesses/second —
+reference loop vs vectorized fast path — on representative traces, and
+(b) end-to-end ``classify_all`` + ``verify_all`` wall time for the
+pre-optimization configuration (serial, reference drive loop, unfiltered
+oracle) against the current one (parallel engine, fast drive path, filtered
+oracle).  Results land in ``BENCH_simulator.json`` at the repo root so
+future PRs can compare against the trajectory; on a multi-core runner the
+end-to-end speedup multiplies the single-core algorithmic gains by the
+worker fan-out.
+
+Both configurations produce bit-identical labels and counts (asserted
+here), so the timings compare two implementations of the same function.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.baselines.shadow import ShadowMemoryDetector
+from repro.coherence.machine import MulticoreMachine, SCALED_WESTMERE
+from repro.core.detector import FalseSharingDetector
+from repro.core.lab import Lab
+from repro.core.training import (
+    PlanRow,
+    ScreeningReport,
+    TrainingData,
+    collect_plan,
+)
+from repro.experiments.context import PipelineContext
+from repro.parallel import default_jobs
+from repro.suites import get_program
+from repro.suites.base import SuiteCase
+from repro.workloads.base import Mode, RunConfig
+from repro.workloads.registry import get_workload
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+#: Traces spanning the compression spectrum: streaming (seq_read), padded
+#: accumulators (psums good), contended (psums bad-fs), suite models.
+def _drive_traces():
+    seq = get_workload("seq_read")
+    psums = get_workload("psums")
+    yield "seq_read/good/t1", seq.trace(
+        RunConfig(threads=1, mode=Mode.GOOD, size=seq.train_sizes[-1]))
+    yield "psums/good/t4", psums.trace(
+        RunConfig(threads=4, mode=Mode.GOOD, size=psums.train_sizes[-1]))
+    yield "psums/bad-fs/t4", psums.trace(
+        RunConfig(threads=4, mode=Mode.BAD_FS, size=psums.train_sizes[-1]))
+    sc = get_program("streamcluster")
+    yield "streamcluster/simsmall", sc.trace(SuiteCase("simsmall", "-O2", 4))
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _mini_tree():
+    """A quickly-trained tree; classification cost, not quality, matters."""
+    plan = [
+        PlanRow("psums", Mode.GOOD, (1_500, 3_000), (3, 6), ("random",), 2),
+        PlanRow("psums", Mode.BAD_FS, (1_500, 3_000), (3, 6), ("random",), 2),
+        PlanRow("seq_read", Mode.BAD_MA, (32_768,), (1,),
+                ("random", "stride8"), 1),
+    ]
+    lab = Lab(disk_cache=None)
+    inst = collect_plan(lab, plan, "A")
+    td = TrainingData(inst, [], inst, [],
+                      ScreeningReport(inst, [], {}),
+                      ScreeningReport([], [], {}))
+    det = FalseSharingDetector(lab)
+    det.fit(training=td)
+    return det.classifier
+
+
+def _pipeline(tree, fast: bool, jobs: int):
+    ctx = PipelineContext(lab=Lab(disk_cache=None, fast=fast), jobs=jobs)
+    ctx.shadow = ShadowMemoryDetector(fast=fast)
+    det = FalseSharingDetector(ctx.lab)
+    det.classifier = tree
+    ctx._detector = det
+    t0 = time.perf_counter()
+    classified = ctx.classify_all()
+    verified = ctx.verify_all()
+    seconds = time.perf_counter() - t0
+    labels = {name: dict(sorted((str(c), lbl) for c, lbl in p.labels.items()))
+              for name, p in classified.items()}
+    verdicts = {name: (v.actual_fs, v.detected_fs, v.cases)
+                for name, v in verified.items()}
+    return seconds, labels, verdicts
+
+
+def test_simulator_throughput():
+    payload = {
+        "bench": "simulator-throughput",
+        "cpus": os.cpu_count(),
+        "jobs": default_jobs(),
+        "drive": {},
+        "e2e": {},
+    }
+
+    for label, prog in _drive_traces():
+        n = int(prog.total_accesses)
+        ref = MulticoreMachine(SCALED_WESTMERE, fast=False)
+        fast = MulticoreMachine(SCALED_WESTMERE, fast=True)
+        t_ref = _time(lambda: ref.run(prog))
+        t_fast = _time(lambda: fast.run(prog))
+        payload["drive"][label] = {
+            "accesses": n,
+            "ref_accesses_per_s": round(n / t_ref),
+            "fast_accesses_per_s": round(n / t_fast),
+            "speedup": round(t_ref / t_fast, 3),
+        }
+        # The fast path must never lose (the compression gate guarantees
+        # parity on fragmented traces); allow a little timer noise.
+        assert t_fast <= t_ref * 1.15, label
+
+    tree = _mini_tree()
+    t_before, labels_before, verdicts_before = _pipeline(
+        tree, fast=False, jobs=1)
+    t_after, labels_after, verdicts_after = _pipeline(
+        tree, fast=True, jobs=default_jobs())
+    assert labels_after == labels_before
+    assert verdicts_after == verdicts_before
+    payload["e2e"] = {
+        "scope": "classify_all + verify_all (19 programs, cold caches)",
+        "serial_reference_s": round(t_before, 2),
+        "parallel_fast_s": round(t_after, 2),
+        "speedup": round(t_before / t_after, 3),
+    }
+
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload["e2e"], indent=2))

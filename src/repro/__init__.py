@@ -24,6 +24,7 @@ from repro.coherence.machine import SCALED_WESTMERE, WESTMERE_SPEC
 from repro.core import FalseSharingDetector, Lab, collect_training_data, select_events
 from repro.errors import ReproError
 from repro.ml import C45Classifier, ConfusionMatrix, Dataset
+from repro.parallel import ExecutionEngine, default_jobs, set_default_jobs
 from repro.pmu import TABLE2_EVENTS, Event, EventVector
 from repro.trace import ProgramTrace, ThreadTrace
 from repro.workloads import Mode, RunConfig, Workload, get_workload
@@ -41,6 +42,9 @@ __all__ = [
     "collect_training_data",
     "select_events",
     "ReproError",
+    "ExecutionEngine",
+    "default_jobs",
+    "set_default_jobs",
     "C45Classifier",
     "ConfusionMatrix",
     "Dataset",

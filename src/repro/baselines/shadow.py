@@ -16,11 +16,17 @@ the monitored program down about 5x.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import BaselineError
 from repro.trace.access import ProgramTrace
 from repro.trace.streams import DEFAULT_CHUNK, interleave
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel import ExecutionEngine
+    from repro.suites.base import SuiteCase
 
 #: [33]'s decision threshold on the false-sharing rate.
 FS_RATE_THRESHOLD = 1e-3
@@ -78,12 +84,33 @@ class ShadowReport:
 
 
 class ShadowMemoryDetector:
-    """Word-granular (4-byte slot) sharing analysis over a program trace."""
+    """Word-granular (4-byte slot) sharing analysis over a program trace.
+
+    ``fast=True`` (the default) pre-filters the trace with numpy before the
+    scalar state machine runs, using two exact reductions:
+
+    * **private lines** — shadow state is per cache line, so a line touched
+      by a single thread can never see an invalidation: its whole access
+      stream contributes exactly one cold miss and is dropped (the miss is
+      added back arithmetically).  Streaming workloads are dominated by
+      thread-private data, so this removes most of the trace.
+    * **repeated words** — an access is a shadow-state no-op when its
+      predecessor in the filtered stream is the *same thread* touching the
+      *same 4-byte word* and the access is a read or follows a write: the
+      thread already holds the line, the slot bit is already set, and a
+      repeated write finds no other holders left to invalidate.  Dropped
+      private-line accesses cannot hide an intervening invalidation, since
+      they never touch a shared line's state.
+
+    Every miss-classification decision therefore survives unchanged, so the
+    filtered run is bit-identical to the reference one.
+    """
 
     def __init__(self, max_threads: int = MAX_THREADS,
-                 track_lines: bool = False) -> None:
+                 track_lines: bool = False, fast: bool = True) -> None:
         self.max_threads = max_threads
         self.track_lines = track_lines
+        self.fast = fast
 
     def run(
         self, program: ProgramTrace, chunk: int = DEFAULT_CHUNK
@@ -95,14 +122,47 @@ class ShadowMemoryDetector:
                 f"program has {nt} (same limitation as [33])"
             )
         merged = interleave(program, chunk=chunk)
-        cores = merged.core.tolist()
-        addrs = merged.addr.tolist()
-        writes = merged.is_write.tolist()
+        cores_a = merged.core
+        addrs_a = merged.addr
+        writes_a = merged.is_write
+        cold_private = 0
+        if self.fast and cores_a.size:
+            # Drop every access to a line only one thread ever touches: it
+            # yields exactly one cold miss and cannot affect shared lines.
+            lines = addrs_a >> 6
+            uniq, inv = np.unique(lines, return_inverse=True)
+            touched = np.zeros(uniq.size * nt, dtype=bool)
+            touched[inv * nt + cores_a] = True
+            n_threads = touched.reshape(uniq.size, nt).sum(axis=1)
+            shared_line = n_threads > 1
+            cold_private = int(uniq.size - np.count_nonzero(shared_line))
+            keep = shared_line[inv]
+            cores_a = cores_a[keep]
+            addrs_a = addrs_a[keep]
+            writes_a = writes_a[keep]
+            if cores_a.size:
+                # Drop repeated same-thread same-word touches (reads, or
+                # writes directly after a write).
+                words = addrs_a >> 2
+                skip = np.zeros(cores_a.size, dtype=bool)
+                skip[1:] = (
+                    (cores_a[1:] == cores_a[:-1])
+                    & (words[1:] == words[:-1])
+                    & (~writes_a[1:] | writes_a[:-1])
+                )
+                keep = ~skip
+                cores_a = cores_a[keep]
+                addrs_a = addrs_a[keep]
+                writes_a = writes_a[keep]
+        cores = cores_a.tolist()
+        addrs = addrs_a.tolist()
+        writes = writes_a.tolist()
 
         holders: Dict[int, int] = {}       # line -> bitmask of holding threads
         tmasks: Dict[int, list] = {}       # line -> per-thread touched-slot mask
         invalmask: Dict[int, list] = {}    # line -> per-thread invalidator slots
-        fs = ts = cold = 0
+        fs = ts = 0
+        cold = cold_private
         all_zero = [0] * nt
         per_line: Dict[int, list] = {} if self.track_lines else None
 
@@ -156,6 +216,32 @@ class ShadowMemoryDetector:
             per_line=(None if per_line is None
                       else {k: tuple(v) for k, v in per_line.items()}),
         )
+
+
+    def run_many(
+        self,
+        cases: Sequence[Tuple[str, "SuiteCase"]],
+        chunk: int = DEFAULT_CHUNK,
+        jobs: Optional[int] = None,
+        engine: Optional["ExecutionEngine"] = None,
+    ) -> List[ShadowReport]:
+        """Shadow ``(program_name, case)`` pairs, optionally in parallel.
+
+        Oracle runs are independent and deterministic, so fanning them over
+        worker processes returns the exact reports a serial sweep would, in
+        input order.  Line-level tracking is not collected in batch mode.
+        """
+        if engine is None:
+            from repro.parallel import ExecutionEngine
+
+            engine = ExecutionEngine(jobs)
+        counts = engine.shadow_batch(list(cases), chunk, self.max_threads,
+                                     fast=self.fast)
+        return [
+            ShadowReport(fs_misses=fs, ts_misses=tsm, cold_misses=cold,
+                         instructions=instr, nthreads=case.threads)
+            for (_, case), (fs, tsm, cold, instr) in zip(cases, counts)
+        ]
 
 
 def false_sharing_rate(

@@ -12,6 +12,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -50,6 +51,19 @@ def _build_config(target, kind: str, args) -> object:
         opt=opt,
         threads=args.threads,
     )
+
+
+def _add_jobs_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 1,
+                   help="worker processes for case-grid simulation "
+                        "(default: all cores; 1 = serial; results are "
+                        "identical either way)")
+
+
+def _apply_jobs(args) -> None:
+    from repro.parallel import set_default_jobs
+
+    set_default_jobs(max(1, args.jobs))
 
 
 def _add_run_options(p: argparse.ArgumentParser) -> None:
@@ -141,12 +155,15 @@ def train_main(argv: Optional[Sequence[str]] = None) -> int:
                         help="skip the instance-screening step")
     parser.add_argument("--cv", type=int, default=10,
                         help="cross-validation folds (0 disables)")
+    _add_jobs_option(parser)
     args = parser.parse_args(argv)
     try:
         from repro.core.training import collect_training_data
 
+        _apply_jobs(args)
         lab = Lab()
-        td = collect_training_data(lab, screen=not args.no_screen)
+        td = collect_training_data(lab, screen=not args.no_screen,
+                                   jobs=max(1, args.jobs))
         lab.flush()
         s = td.summary()
         rows = [[part, c["good"], c["bad-fs"], c["bad-ma"], c["total"]]
@@ -182,10 +199,12 @@ def detect_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--advise", action="store_true",
                         help="on a bad-fs verdict, name the contended lines "
                              "and estimate the padding fix")
+    _add_jobs_option(parser)
     args = parser.parse_args(argv)
     try:
         from repro.experiments.context import default_context
 
+        _apply_jobs(args)
         ctx = default_context()
         target, kind = _resolve_target(args.workload)
         cfg = _build_config(target, kind, args)
@@ -232,9 +251,11 @@ def experiment_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("ids", nargs="*",
                         help="experiment ids (default: list them)")
     parser.add_argument("--all", action="store_true", help="run everything")
+    _add_jobs_option(parser)
     args = parser.parse_args(argv)
     from repro.experiments import experiment_ids, run_experiment
 
+    _apply_jobs(args)
     ids: List[str] = args.ids
     if args.all:
         ids = experiment_ids()

@@ -10,6 +10,21 @@ Performance note (per the HPC guides: profile, keep the hot loop tight): the
 access loop iterates plain Python lists, binds everything it touches to
 locals, and inlines the L1-hit fast path; only misses and upgrades call out
 to helper methods.
+
+The machine ships two drive paths with pinned-identical event semantics:
+
+* the **reference path** (``fast=False``): one Python loop over every access
+  — the executable specification;
+* the **fast path** (``fast=True``, default): a numpy pre-screen extracts
+  cache-line/page columns in one shot and compresses the merged trace into
+  maximal runs of adjacent same-core same-line accesses.  Only the leading
+  access of each run (the one that can miss, RFO-upgrade, or walk the TLB)
+  executes the scalar reference logic; the tail of a run is retired in O(1)
+  because within a run no other core acts, so every tail access is an L1 hit
+  whose only architectural effects (line-fill-buffer hit accounting, an
+  E->M upgrade on the first store, the contender-epoch decay) are computable
+  in closed form.  ``tests/test_coherence_fastpath.py`` pins bit-identical
+  tallies between the two paths.
 """
 
 from __future__ import annotations
@@ -30,6 +45,18 @@ from repro.trace.streams import DEFAULT_CHUNK, interleave
 
 #: Accesses between resets of the per-line contender bitmasks.
 _CONTENTION_EPOCH = 8192
+
+#: Minimum mean run length (accesses per same-core same-line run) for the
+#: vectorized fast path to beat the per-access reference loop.  Below it the
+#: pre-screen materializes nearly one run per access and costs more than it
+#: saves, so such segments fall back to the reference loop (which is
+#: bit-identical by construction).
+_FAST_MIN_COMPRESSION = 1.6
+
+#: Accesses inspected to estimate a segment's run-length compression before
+#: committing to the fast path.  Access interleaving is stationary within a
+#: trace, so a prefix probe predicts the whole segment at negligible cost.
+_GATE_PROBE = 65536
 
 
 @dataclass(frozen=True)
@@ -142,17 +169,32 @@ class MulticoreMachine:
         latency: Optional[LatencyModel] = None,
         prefetch: bool = True,
         hitm_sample_period: int = 0,
+        fast: bool = True,
+        fast_min_compression: float = _FAST_MIN_COMPRESSION,
     ) -> None:
         """``hitm_sample_period`` > 0 enables PEBS-style sampling: every
         period-th HITM snoop records (requester core, holder core, byte
         address, is_write) into ``SimulationResult.hitm_samples`` — the raw
-        material of a perf-c2c-style contention report."""
+        material of a perf-c2c-style contention report.
+
+        ``fast=False`` selects the per-access reference loop instead of the
+        vectorized run-compressed drive path; both produce identical event
+        tallies (the fast path exists purely for throughput).
+
+        ``fast_min_compression`` gates the fast path per segment: when the
+        trace's mean run length (accesses per same-core same-line run) falls
+        below it, the pre-screen cannot pay for itself and the segment is
+        driven by the reference loop instead.  Set it to 0.0 to force the
+        vectorized path regardless of compression (used by the equivalence
+        tests)."""
         if hitm_sample_period < 0:
             raise SimulationError("hitm_sample_period must be >= 0")
         self.spec = spec or MachineSpec()
         self.latency = latency or DEFAULT_LATENCY
         self.prefetch = prefetch
         self.hitm_sample_period = hitm_sample_period
+        self.fast = fast
+        self.fast_min_compression = fast_min_compression
 
     # ------------------------------------------------------------------ run
 
@@ -197,10 +239,10 @@ class MulticoreMachine:
             )
 
         merged = interleave(program, chunk=chunk)
-        cores_l = merged.core.tolist()
-        addrs_l = merged.addr.tolist()
-        writes_l = merged.is_write.tolist()
-        total = len(cores_l)
+        cores_a = merged.core
+        addrs_a = merged.addr
+        writes_a = merged.is_write
+        total = int(cores_a.size)
 
         # Per-core structures persist across slices.
         self._l1 = [SetAssociativeCache(spec.l1_lines, spec.l1_assoc,
@@ -227,7 +269,7 @@ class MulticoreMachine:
         for s_i in range(n_slices):
             lo, hi = bounds[s_i], bounds[s_i + 1]
             seg = self._drive(
-                cores_l[lo:hi], addrs_l[lo:hi], writes_l[lo:hi], state,
+                cores_a[lo:hi], addrs_a[lo:hi], writes_a[lo:hi], state,
             )
             # Attribute instructions to the slice by the accesses each
             # thread completed in it (spin extras spread proportionally).
@@ -282,9 +324,26 @@ class MulticoreMachine:
             del self._l1, self._l2, self._l3, self._nt, self._contenders
         return results
 
-    def _drive(self, cores_l, addrs_l, writes_l,
+    def _drive(self, cores_a, addrs_a, writes_a,
                state: "_RunState") -> "_SegmentTallies":
-        """Process one segment of the merged trace against live state."""
+        """Process one segment of the merged trace against live state.
+
+        Dispatches to the vectorized fast path (default) or the per-access
+        reference loop; the two are pinned bit-identical.
+        """
+        if self.fast:
+            return self._drive_fast(cores_a, addrs_a, writes_a, state)
+        return self._drive_ref(cores_a, addrs_a, writes_a, state)
+
+    def _drive_ref(self, cores_a, addrs_a, writes_a,
+                   state: "_RunState") -> "_SegmentTallies":
+        """Reference path: one Python iteration per access (the spec)."""
+        cores_l = (cores_a.tolist() if isinstance(cores_a, np.ndarray)
+                   else list(cores_a))
+        addrs_l = (addrs_a.tolist() if isinstance(addrs_a, np.ndarray)
+                   else list(addrs_a))
+        writes_l = (writes_a.tolist() if isinstance(writes_a, np.ndarray)
+                    else list(writes_a))
         lat = self.latency
         ev = _EventTallies()
         seg = _SegmentTallies(ev, len(state.penalty))
@@ -372,6 +431,218 @@ class MulticoreMachine:
         seg.n_rfo_s = n_rfo_s
         seg.n_writes = n_writes
         seg.n_reads = len(cores_l) - n_writes
+        return seg
+
+    def _drive_fast(self, cores_a, addrs_a, writes_a,
+                    state: "_RunState") -> "_SegmentTallies":
+        """Vectorized fast path: run-compress the trace, scalar-drive leaders.
+
+        Line/page extraction and per-core run-length detection happen once in
+        numpy; the Python loop then visits one *run* (maximal block of
+        adjacent accesses by one core to one cache line) instead of one
+        access.  A run's leading access executes exactly the reference
+        per-access logic; the tail is guaranteed-hit and is retired in O(1)
+        (see module docstring for the equivalence argument).
+        """
+        lat = self.latency
+        ev = _EventTallies()
+        nt = len(state.penalty)
+        seg = _SegmentTallies(ev, nt)
+        cores_a = np.asarray(cores_a)
+        addrs_a = np.asarray(addrs_a, dtype=np.int64)
+        writes_a = np.asarray(writes_a, dtype=bool)
+        n = int(cores_a.size)
+        if n == 0:
+            return seg
+
+        min_ratio = self.fast_min_compression
+        if min_ratio > 0.0:
+            # Probe a prefix to estimate run-length compression; segments
+            # too fragmented for the pre-screen to pay for itself go to the
+            # reference loop (bit-identical by construction), and the probe
+            # keeps that fallback nearly free.
+            p = min(n, _GATE_PROBE)
+            pl = addrs_a[:p] >> 6
+            runs = 1 + int(np.count_nonzero(
+                (cores_a[1:p] != cores_a[:p - 1]) | (pl[1:] != pl[:-1])))
+            if p < min_ratio * runs:
+                return self._drive_ref(cores_a, addrs_a, writes_a, state)
+
+        lines_a = addrs_a >> 6
+        # Run boundaries: a new run whenever the core or the line changes.
+        same_core = cores_a[1:] == cores_a[:-1]
+        brk = np.empty(n, dtype=bool)
+        brk[0] = True
+        np.logical_not(same_core, out=brk[1:])
+        brk[1:] |= lines_a[1:] != lines_a[:-1]
+        starts = np.flatnonzero(brk)
+        # A leader whose immediately preceding access is the same core on the
+        # same page has that page resident and MRU in its DTLB: the whole
+        # TLB block can be skipped.
+        tlb_res = np.zeros(n, dtype=bool)
+        tlb_res[1:] = same_core & ((addrs_a[1:] >> 12) == (addrs_a[:-1] >> 12))
+        # Stores per position, prefix-summed, for O(1) tail store counts.
+        wcum = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(writes_a, out=wcum[1:])
+        n_writes = int(wcum[-1])
+        wv = memoryview(wcum)
+        wmv = memoryview(writes_a)
+        av = memoryview(addrs_a)
+
+        # Whole-segment counters that never depend on hit/miss outcomes.
+        seg.accesses = np.bincount(cores_a, minlength=nt).tolist()
+        seg.n_writes = n_writes
+        seg.n_reads = n - n_writes
+
+        r_cores = cores_a[starts].tolist()
+        r_addrs = addrs_a[starts].tolist()
+        r_writes = writes_a[starts].tolist()
+        r_len = np.diff(starts, append=n).tolist()
+        r_tlbres = tlb_res[starts].tolist()
+
+        l1_masks = [c.mask for c in self._l1]
+        if self._l1 and self._l1[0].nsets > 1 and l1_masks[0] == 0:
+            raise SimulationError("L1 set count must be a power of two")
+        l1_sets = [c.sets for c in self._l1]
+        l2_objs = self._l2
+        tlbs = state.tlbs
+        tlb_cap = state.tlb_cap
+        last_miss_line = state.last_miss_line
+        lfb_line = state.lfb_line
+        lfb_window = state.lfb_window
+        penalty = seg.penalty
+        tlb_walk_eff = lat.tlb_walk * 0.5
+        prefetch_on = self.prefetch
+        service_miss = self._service_miss
+        upgrade_shared = self._upgrade_shared
+        contenders = self._contenders
+
+        n_dtlb = 0
+        n_dtlb_st = 0
+        n_l1_miss = 0
+        n_hit_lfb = 0
+        n_rfo_s = 0
+        decay_countdown = state.decay_countdown
+        epoch = _CONTENTION_EPOCH
+        i = 0  # global index of the current run's leading access
+
+        for c, addr, w, m, tlb_ok in zip(r_cores, r_addrs, r_writes,
+                                         r_len, r_tlbres):
+            line = addr >> 6
+            # ---- leading access: the reference per-access path ----------
+            decay_countdown -= 1
+            if not decay_countdown:
+                contenders.clear()
+                decay_countdown = epoch
+            if not tlb_ok:
+                page = addr >> 12
+                tlb = tlbs[c]
+                if page in tlb:
+                    tlb.move_to_end(page)
+                else:
+                    n_dtlb += 1
+                    if w:
+                        n_dtlb_st += 1
+                    if len(tlb) >= tlb_cap:
+                        tlb.popitem(last=False)
+                    tlb[page] = None
+                    penalty[c] += tlb_walk_eff
+            s1 = l1_sets[c][line & l1_masks[c]]
+            st = s1.get(line)
+            if st is not None:
+                s1.move_to_end(line)
+                if w:
+                    if st == EXCLUSIVE:
+                        s1[line] = MODIFIED
+                        l2_objs[c].set_state(line, MODIFIED)
+                    elif st != MODIFIED:
+                        # Shared: needs an RFO upgrade on the bus.
+                        self._cur_addr = addr
+                        n_rfo_s += 1
+                        penalty[c] += upgrade_shared(c, line, ev)
+                elif lfb_window[c] and line == lfb_line[c]:
+                    n_hit_lfb += 1
+                    lfb_window[c] -= 1
+            else:
+                n_l1_miss += 1
+                self._cur_addr = addr
+                penalty[c] += service_miss(c, line, w, ev, last_miss_line,
+                                           prefetch_on)
+                lfb_line[c] = line
+                lfb_window[c] = 1
+
+            if m == 1:
+                i += 1
+                continue
+
+            # ---- tail: m-1 guaranteed L1 hits on this line --------------
+            end = i + m
+            pos = i + 1
+            i = end
+            tw_left = wv[end] - wv[pos]
+            if not tw_left:
+                # All loads: at most one LFB hit, plus epoch decay.
+                if lfb_window[c] and line == lfb_line[c]:
+                    n_hit_lfb += 1
+                    lfb_window[c] -= 1
+                decay_countdown -= m - 1
+                if decay_countdown <= 0:
+                    contenders.clear()
+                    decay_countdown = epoch - ((-decay_countdown) % epoch)
+                continue
+            while True:
+                st = s1.get(line)
+                if tw_left and st == SHARED:
+                    # Loads keep the line Shared; the first store must take
+                    # the bus, so it runs the scalar reference path.
+                    j = pos
+                    while not wmv[j]:
+                        j += 1
+                    nreads = j - pos
+                    if nreads:
+                        if lfb_window[c] and line == lfb_line[c]:
+                            n_hit_lfb += 1
+                            lfb_window[c] -= 1
+                        decay_countdown -= nreads
+                        if decay_countdown <= 0:
+                            contenders.clear()
+                            decay_countdown = epoch - (
+                                (-decay_countdown) % epoch)
+                    decay_countdown -= 1
+                    if not decay_countdown:
+                        contenders.clear()
+                        decay_countdown = epoch
+                    s1.move_to_end(line)
+                    self._cur_addr = av[j]
+                    n_rfo_s += 1
+                    penalty[c] += upgrade_shared(c, line, ev)
+                    tw_left -= 1
+                    pos = j + 1
+                    if pos >= end:
+                        break
+                    continue
+                # Line is Modified/Exclusive or no stores remain: the whole
+                # remainder retires without bus traffic.
+                cnt = end - pos
+                if tw_left and st == EXCLUSIVE:
+                    s1[line] = MODIFIED
+                    l2_objs[c].set_state(line, MODIFIED)
+                if cnt - tw_left and lfb_window[c] and line == lfb_line[c]:
+                    n_hit_lfb += 1
+                    lfb_window[c] -= 1
+                decay_countdown -= cnt
+                if decay_countdown <= 0:
+                    contenders.clear()
+                    decay_countdown = epoch - ((-decay_countdown) % epoch)
+                break
+
+        state.decay_countdown = decay_countdown
+        self._cur_addr = -1
+        seg.n_dtlb = n_dtlb
+        seg.n_dtlb_st = n_dtlb_st
+        seg.n_l1_miss = n_l1_miss
+        seg.n_hit_lfb = n_hit_lfb
+        seg.n_rfo_s = n_rfo_s
         return seg
 
     # ---------------------------------------------------------------- slow paths

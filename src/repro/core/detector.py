@@ -9,9 +9,12 @@ run on the lab.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel import ExecutionEngine
 
 from repro.core.lab import Lab
 from repro.core.training import (
@@ -65,11 +68,15 @@ class FalseSharingDetector:
         self,
         dataset: Optional[Dataset] = None,
         training: Optional[TrainingData] = None,
+        jobs: Optional[int] = None,
     ) -> "FalseSharingDetector":
-        """Train on an explicit dataset, a TrainingData, or collect afresh."""
+        """Train on an explicit dataset, a TrainingData, or collect afresh.
+
+        ``jobs`` parallelizes a fresh collection's simulations (ignored when
+        a dataset or training set is supplied)."""
         if dataset is None:
             if training is None:
-                training = collect_training_data(self.lab)
+                training = collect_training_data(self.lab, jobs=jobs)
             self.training = training
             dataset = training.dataset
         self.classifier = self.make_classifier()
@@ -109,8 +116,25 @@ class FalseSharingDetector:
         )
 
     def classify_cases(
-        self, workload: Workload, cases: Sequence[RunConfig]
+        self,
+        workload: Workload,
+        cases: Sequence[RunConfig],
+        jobs: Optional[int] = None,
+        engine: Optional["ExecutionEngine"] = None,
     ) -> List[CaseResult]:
+        """Classify a grid of cases, optionally simulating them in parallel.
+
+        Workers only simulate; measurement and classification run serially
+        in case order here, so the results are identical for any ``jobs``.
+        """
+        if engine is None and jobs is not None:
+            from repro.parallel import ExecutionEngine
+
+            engine = ExecutionEngine(jobs)
+        if engine is not None:
+            engine.prefetch_simulations(
+                self.lab, [(workload, cfg) for cfg in cases]
+            )
         return [self.classify(workload, cfg) for cfg in cases]
 
     def overall_label(self, case_labels: Sequence[str]) -> str:

@@ -66,6 +66,9 @@ class Lab:
     noisy: bool = True
     chunk: int = DEFAULT_CHUNK
     prefetch: bool = True
+    #: False selects the simulator's per-access reference loop; results are
+    #: identical either way (the fast path exists purely for throughput).
+    fast: bool = True
     #: "auto" uses a per-spec pickle under the user cache dir; None disables;
     #: a path uses that file.  Simulations are deterministic, so caching
     #: across processes is safe (delete the file after changing simulator or
@@ -77,7 +80,7 @@ class Lab:
 
     def __post_init__(self) -> None:
         self._machine = MulticoreMachine(
-            self.spec, self.latency, prefetch=self.prefetch
+            self.spec, self.latency, prefetch=self.prefetch, fast=self.fast
         )
         self._sampler = PMUSampler(seed=self.seed, noisy=self.noisy)
         self._dirty = 0
@@ -125,6 +128,25 @@ class Lab:
 
     # ---------------------------------------------------------------- runs
 
+    def simulation_key(self, workload, cfg) -> Tuple:
+        """The run-cache key for one configuration (rep index excluded)."""
+        return (workload.name,) + tuple(workload.cache_key(cfg)) + (self.chunk,)
+
+    def has_result(self, key: Tuple) -> bool:
+        """True when a simulation for this key is already cached."""
+        return key in self._cache
+
+    def adopt_result(self, key: Tuple, result: SimulationResult) -> None:
+        """Install a simulation computed elsewhere (a worker process).
+
+        Simulations are deterministic functions of the key, so adopting a
+        worker's result is indistinguishable from computing it here; the
+        serial measurement loop then consumes it as an ordinary cache hit.
+        """
+        if key not in self._cache:
+            self._cache[key] = result
+            self._dirty += 1
+
     def simulate(self, workload, cfg) -> SimulationResult:
         """Run (or fetch from cache) the simulation for one configuration.
 
@@ -133,7 +155,7 @@ class Lab:
         index is excluded from the cache key: repeats re-measure, they do
         not re-execute different computations.
         """
-        key = (workload.name,) + tuple(workload.cache_key(cfg)) + (self.chunk,)
+        key = self.simulation_key(workload, cfg)
         hit = self._cache.get(key)
         if hit is not None:
             return hit

@@ -16,11 +16,22 @@ explicit rule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.core.lab import Lab
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel import ExecutionEngine
 from repro.errors import ConfigError
 from repro.ml.dataset import Dataset, Instance
 from repro.pmu.events import TABLE2_EVENTS, feature_events
@@ -153,8 +164,21 @@ def collect_plan(
     plan: Sequence[PlanRow],
     part: str,
     interference_p: float = 0.0,
+    engine: Optional["ExecutionEngine"] = None,
 ) -> List[Instance]:
-    """Run every configuration in ``plan`` and return labeled instances."""
+    """Run every configuration in ``plan`` and return labeled instances.
+
+    With an :class:`~repro.parallel.ExecutionEngine`, the plan's simulations
+    are prefetched across worker processes first; the serial measurement
+    loop below then only samples PMU noise off cached results, so parallel
+    collection is bit-identical to serial.
+    """
+    if engine is not None:
+        engine.prefetch_simulations(
+            lab,
+            [(get_workload(row.workload), cfg)
+             for row in plan for cfg in row.configs()],
+        )
     instances: List[Instance] = []
     for row in plan:
         workload = get_workload(row.workload)
@@ -320,17 +344,26 @@ def collect_training_data(
     lab: Optional[Lab] = None,
     screen: bool = True,
     threads: Optional[Tuple[int, ...]] = None,
+    jobs: Optional[int] = None,
+    engine: Optional["ExecutionEngine"] = None,
 ) -> TrainingData:
     """Run the full Section 3.1 collection: Parts A and B plus screening.
 
     ``threads`` overrides the multi-threaded ladder (defaults to the paper's
     3/6/9/12; pass e.g. ``(2, 4, 6, 8)`` when porting to an 8-core machine).
+    ``jobs`` (or an explicit ``engine``) parallelizes the simulations across
+    processes; the collected instances are bit-identical either way.
     """
     lab = lab or Lab()
+    if engine is None and jobs is not None:
+        from repro.parallel import ExecutionEngine
+
+        engine = ExecutionEngine(jobs)
     plan_a = PART_A_PLAN if threads is None else make_part_a_plan(threads)
-    part_a_initial = collect_plan(lab, plan_a, part="A")
+    part_a_initial = collect_plan(lab, plan_a, part="A", engine=engine)
     part_b_initial = collect_plan(
-        lab, PART_B_PLAN, part="B", interference_p=PART_B_INTERFERENCE
+        lab, PART_B_PLAN, part="B", interference_p=PART_B_INTERFERENCE,
+        engine=engine,
     )
     if screen:
         rep_a = screen_instances(part_a_initial)

@@ -20,6 +20,7 @@ from repro.baselines.shadow import ShadowMemoryDetector, ShadowReport
 from repro.core.detector import FalseSharingDetector
 from repro.core.lab import Lab
 from repro.core.training import TrainingData, collect_training_data
+from repro.parallel import ExecutionEngine
 from repro.pmu.events import TABLE2_EVENTS
 from repro.suites import all_programs, get_program
 from repro.suites.base import SuiteCase, SuiteProgram
@@ -29,6 +30,13 @@ from repro.utils.stats import majority, tally
 #: background activity.  Real collection isn't sterile: the paper saw one
 #: unexplained bad-ma cell in linear_regression and attributes it to error.
 SUITE_INTERFERENCE = 0.004
+
+
+def _shadow_versions() -> Tuple[str, str]:
+    """The version pair stamped into (and demanded of) the shadow cache."""
+    from repro.versioning import SHADOW_VERSION, SIM_VERSION
+
+    return (SIM_VERSION, SHADOW_VERSION)
 
 
 @dataclass
@@ -64,8 +72,17 @@ class VerifiedProgram:
 class PipelineContext:
     """Lazily computed, shared artifacts of the full reproduction pipeline."""
 
-    def __init__(self, lab: Optional[Lab] = None) -> None:
+    def __init__(
+        self,
+        lab: Optional[Lab] = None,
+        jobs: Optional[int] = None,
+        engine: Optional[ExecutionEngine] = None,
+    ) -> None:
         self.lab = lab or Lab()
+        self.engine = engine or ExecutionEngine(jobs)
+        #: The oracle used for verification; replaceable (e.g. ``fast=False``
+        #: selects its reference scalar loop for A/B measurements).
+        self.shadow = ShadowMemoryDetector()
         self._training: Optional[TrainingData] = None
         self._detector: Optional[FalseSharingDetector] = None
         self._classified: Dict[str, ClassifiedProgram] = {}
@@ -76,7 +93,14 @@ class PipelineContext:
         if self._shadow_path is not None and self._shadow_path.exists():
             try:
                 with open(self._shadow_path, "rb") as fh:
-                    self._shadow_cache.update(pickle.load(fh))
+                    payload = pickle.load(fh)
+                # Only a payload stamped with the current simulator + oracle
+                # versions is trusted; anything else (including the legacy
+                # bare-dict format) is recomputed rather than silently
+                # reused with stale semantics.
+                if (isinstance(payload, dict)
+                        and payload.get("versions") == _shadow_versions()):
+                    self._shadow_cache.update(payload["entries"])
             except Exception:
                 self._shadow_cache.clear()
 
@@ -87,10 +111,10 @@ class PipelineContext:
             os.environ.get("REPRO_CACHE_DIR",
                            Path(tempfile.gettempdir()) / "repro-simcache")
         )
-        from repro.versioning import SIM_VERSION
-
+        sim_v, shadow_v = _shadow_versions()
         return base / (
-            f"shadow-{self.lab.spec.name}-c{self.lab.chunk}-{SIM_VERSION}.pkl"
+            f"shadow-{self.lab.spec.name}-c{self.lab.chunk}"
+            f"-{sim_v}-{shadow_v}.pkl"
         )
 
     # ------------------------------------------------------------- training
@@ -98,7 +122,8 @@ class PipelineContext:
     @property
     def training(self) -> TrainingData:
         if self._training is None:
-            self._training = collect_training_data(self.lab)
+            self._training = collect_training_data(self.lab,
+                                                   engine=self.engine)
             self.lab.flush()
         return self._training
 
@@ -116,6 +141,9 @@ class PipelineContext:
         if name not in self._classified:
             program = get_program(name)
             det = self.detector
+            self.engine.prefetch_simulations(
+                self.lab, [(program, case) for case in program.cases()]
+            )
             labels: Dict[SuiteCase, str] = {}
             seconds: Dict[SuiteCase, float] = {}
             for case in program.cases():
@@ -130,6 +158,15 @@ class PipelineContext:
         return self._classified[name]
 
     def classify_all(self) -> Dict[str, ClassifiedProgram]:
+        # One engine-wide prefetch over every program's grid beats
+        # per-program batches: the pool stays saturated across the seams.
+        self.engine.prefetch_simulations(
+            self.lab,
+            [(program, case)
+             for program in all_programs()
+             if program.name not in self._classified
+             for case in program.cases()],
+        )
         for program in all_programs():
             self.classify_program(program.name)
         return dict(self._classified)
@@ -140,9 +177,7 @@ class PipelineContext:
         key = (program.name,) + tuple(program.cache_key(case))
         hit = self._shadow_cache.get(key)
         if hit is None:
-            rep = ShadowMemoryDetector().run(
-                program.trace(case), chunk=self.lab.chunk
-            )
+            rep = self.shadow.run(program.trace(case), chunk=self.lab.chunk)
             hit = (rep.fs_misses, rep.ts_misses, rep.cold_misses,
                    rep.instructions)
             self._shadow_cache[key] = hit
@@ -154,13 +189,39 @@ class PipelineContext:
             instructions=hit[3], nthreads=case.threads,
         )
 
+    def _prefetch_shadow(
+        self, pairs: List[Tuple[SuiteProgram, SuiteCase]]
+    ) -> None:
+        """Run missing oracle cases across the engine's worker pool."""
+        seen = set()
+        keys: List[Tuple] = []
+        missing: List[Tuple[str, SuiteCase]] = []
+        for program, case in pairs:
+            key = (program.name,) + tuple(program.cache_key(case))
+            if key in seen or key in self._shadow_cache:
+                continue
+            seen.add(key)
+            keys.append(key)
+            missing.append((program.name, case))
+        if self.engine.jobs <= 1 or len(missing) <= 1:
+            return
+        counts = self.engine.shadow_batch(missing, self.lab.chunk,
+                                          self.shadow.max_threads,
+                                          fast=self.shadow.fast)
+        for key, hit in zip(keys, counts):
+            self._shadow_cache[key] = hit
+            self._shadow_dirty += 1
+        self._flush_shadow()
+
     def _flush_shadow(self) -> None:
         if self._shadow_path is None:
             return
         self._shadow_path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self._shadow_path.with_suffix(".tmp")
+        payload = {"versions": _shadow_versions(),
+                   "entries": self._shadow_cache}
         with open(tmp, "wb") as fh:
-            pickle.dump(self._shadow_cache, fh)
+            pickle.dump(payload, fh)
         tmp.replace(self._shadow_path)
         self._shadow_dirty = 0
 
@@ -170,6 +231,9 @@ class PipelineContext:
         if name not in self._verified:
             program = get_program(name)
             classified = self.classify_program(name)
+            self._prefetch_shadow(
+                [(program, case) for case in program.verification_cases()]
+            )
             detail: List[Tuple[SuiteCase, float, str]] = []
             actual_fs = detected_fs = 0
             cases = program.verification_cases()
@@ -198,6 +262,12 @@ class PipelineContext:
         return self._verified[name]
 
     def verify_all(self) -> Dict[str, VerifiedProgram]:
+        self._prefetch_shadow(
+            [(program, case)
+             for program in all_programs()
+             if program.name not in self._verified
+             for case in program.verification_cases()]
+        )
         for program in all_programs():
             self.verify_program(program.name)
         return dict(self._verified)
@@ -207,7 +277,12 @@ _DEFAULT_CONTEXT: Optional[PipelineContext] = None
 
 
 def default_context() -> PipelineContext:
-    """The process-wide shared pipeline (used by benches and the CLI)."""
+    """The process-wide shared pipeline (used by benches and the CLI).
+
+    Its engine honours :func:`repro.parallel.default_jobs` at construction
+    time, so ``set_default_jobs`` (the CLI's ``--jobs``) must run before the
+    first call.
+    """
     global _DEFAULT_CONTEXT
     if _DEFAULT_CONTEXT is None:
         _DEFAULT_CONTEXT = PipelineContext()

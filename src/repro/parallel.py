@@ -1,0 +1,176 @@
+"""Parallel case-grid execution.
+
+Every expensive artifact in the pipeline — the Table 3 training set, the
+Tables 5-10 suite classification grids, the shadow-memory oracle runs — is a
+*grid* of independent (workload, configuration) cases.  Simulating one case
+shares no state with any other: traces are generated from
+:func:`repro.utils.rng.rng_for` (a blake2b-keyed stream, identical in every
+process), and measurement noise is drawn in the parent from the same keyed
+streams.  That makes the grid embarrassingly parallel *and* lets us demand a
+strong invariant:
+
+    parallel execution is **bit-identical** to serial execution.
+
+The :class:`ExecutionEngine` realizes the invariant by construction: worker
+processes only *simulate* (the deterministic part) and ship
+:class:`~repro.coherence.machine.SimulationResult` objects back; the parent
+adopts them into the :class:`~repro.core.lab.Lab` run cache and then drives
+the unchanged serial loop, which consumes cache hits in the original case
+order.  Noise sampling, screening, classification — everything order- or
+RNG-sensitive — still happens serially in the parent, so artifacts cannot
+depend on worker scheduling.
+
+``jobs=1`` (or a single-case grid) never spawns processes; ``jobs=None``
+uses :func:`default_jobs` (``os.cpu_count()``, overridable by the CLI's
+``--jobs``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ExecutionEngine",
+    "default_jobs",
+    "set_default_jobs",
+    "resolve_target",
+]
+
+_DEFAULT_JOBS: Optional[int] = None
+
+
+def default_jobs() -> int:
+    """Worker count used when an engine is built with ``jobs=None``."""
+    if _DEFAULT_JOBS is not None:
+        return _DEFAULT_JOBS
+    return os.cpu_count() or 1
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` restores auto)."""
+    global _DEFAULT_JOBS
+    if jobs is not None and jobs < 1:
+        raise ReproError("jobs must be >= 1")
+    _DEFAULT_JOBS = jobs
+
+
+def resolve_target(name: str):
+    """A mini-program or suite program by registry name (workers use this)."""
+    from repro.errors import WorkloadError
+    from repro.workloads.registry import get_workload
+
+    try:
+        return get_workload(name)
+    except WorkloadError:
+        from repro.suites import get_program
+
+        return get_program(name)
+
+
+# --------------------------------------------------------------------- tasks
+#
+# Worker entry points must be module-level functions (pickled by reference).
+# Tasks are self-contained tuples: workloads travel as registry names, specs
+# as the frozen dataclasses they already are.
+
+
+def _simulate_task(task: Tuple) -> object:
+    """Worker: run one simulation; returns the SimulationResult."""
+    name, cfg, spec, latency, prefetch, fast, chunk = task
+    from repro.coherence.machine import MulticoreMachine
+
+    workload = resolve_target(name)
+    machine = MulticoreMachine(spec, latency, prefetch=prefetch, fast=fast)
+    return machine.run(workload.trace(cfg), chunk=chunk)
+
+
+def _shadow_task(task: Tuple) -> Tuple[int, int, int, int]:
+    """Worker: run the shadow-memory oracle on one suite case."""
+    name, case, chunk, max_threads, fast = task
+    from repro.baselines.shadow import ShadowMemoryDetector
+
+    program = resolve_target(name)
+    rep = ShadowMemoryDetector(max_threads=max_threads, fast=fast).run(
+        program.trace(case), chunk=chunk
+    )
+    return (rep.fs_misses, rep.ts_misses, rep.cold_misses, rep.instructions)
+
+
+# -------------------------------------------------------------------- engine
+
+
+class ExecutionEngine:
+    """Fans a list of independent tasks out over worker processes.
+
+    Results always come back in task order (``ProcessPoolExecutor.map``
+    preserves input order regardless of completion order), and dispatch is
+    chunked so thousands of small cases do not pay per-task IPC overhead.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ReproError("jobs must be >= 1")
+        self.jobs = int(jobs) if jobs is not None else default_jobs()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExecutionEngine(jobs={self.jobs})"
+
+    def map(self, fn: Callable, tasks: Iterable) -> List:
+        """``[fn(t) for t in tasks]``, possibly across processes, in order."""
+        tasks = list(tasks)
+        if self.jobs <= 1 or len(tasks) <= 1:
+            return [fn(t) for t in tasks]
+        workers = min(self.jobs, len(tasks))
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, tasks, chunksize=chunksize))
+
+    # ------------------------------------------------------------- prefetch
+
+    def prefetch_simulations(self, lab, pairs: Sequence[Tuple]) -> int:
+        """Simulate missing ``(workload, cfg)`` cases in parallel.
+
+        Results are adopted into ``lab``'s run cache; the caller then runs
+        its normal serial loop, which finds every case already simulated.
+        Cases whose workload is not resolvable by registry name (a caller
+        passing some ad-hoc object) are skipped and simply get simulated
+        serially by that loop.  Returns the number of cases dispatched.
+        """
+        seen = set()
+        missing: List[Tuple] = []
+        keys: List[Tuple] = []
+        for workload, cfg in pairs:
+            key = lab.simulation_key(workload, cfg)
+            if key in seen or lab.has_result(key):
+                continue
+            try:
+                if resolve_target(workload.name) is not workload:
+                    continue
+            except ReproError:
+                continue
+            seen.add(key)
+            keys.append(key)
+            missing.append((workload.name, cfg, lab.spec, lab.latency,
+                            lab.prefetch, lab.fast, lab.chunk))
+        if self.jobs <= 1 or len(missing) <= 1:
+            return 0
+        for key, result in zip(keys, self.map(_simulate_task, missing)):
+            lab.adopt_result(key, result)
+        lab.flush()
+        return len(missing)
+
+    def shadow_batch(
+        self,
+        cases: Sequence[Tuple],
+        chunk: int,
+        max_threads: int,
+        fast: bool = True,
+    ) -> List[Tuple[int, int, int, int]]:
+        """Oracle counts for ``(program_name, case)`` pairs, in order."""
+        tasks = [(name, case, chunk, max_threads, fast)
+                 for name, case in cases]
+        return self.map(_shadow_task, tasks)

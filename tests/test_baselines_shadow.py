@@ -159,3 +159,49 @@ class TestPerLineAttribution:
         shadow_top = shadow.hottest_fs_lines(1)[0][0]
         c2c_top = c2c.false_sharing_suspects()[0].line
         assert shadow_top == c2c_top
+
+
+class TestFastPrefilter:
+    """The numpy prefilter must be invisible: identical counts everywhere."""
+
+    def _both(self, prog, **kw):
+        ref = ShadowMemoryDetector(fast=False, **kw).run(prog)
+        fast = ShadowMemoryDetector(fast=True, **kw).run(prog)
+        return fast, ref
+
+    def _assert_same(self, fast, ref):
+        assert fast.fs_misses == ref.fs_misses
+        assert fast.ts_misses == ref.ts_misses
+        assert fast.cold_misses == ref.cold_misses
+        assert fast.instructions == ref.instructions
+        assert fast.per_line == ref.per_line
+
+    def test_synthetic_traces(self):
+        for prog in (
+            ProgramTrace([rmw_thread(4096, 400), rmw_thread(4104, 400)]),
+            ProgramTrace([rmw_thread(4096, 400), rmw_thread(4096, 400)]),
+            ProgramTrace([rmw_thread(4096, 100)]),
+        ):
+            self._assert_same(*self._both(prog))
+
+    def test_mini_programs(self):
+        from repro.workloads import RunConfig, get_workload
+
+        for name, mode in (("psums", "bad-fs"), ("psums", "good"),
+                           ("pdot", "bad-fs")):
+            w = get_workload(name)
+            prog = w.trace(RunConfig(threads=4, mode=mode,
+                                     size=w.train_sizes[0]))
+            self._assert_same(*self._both(prog))
+
+    def test_suite_trace_with_line_detail(self):
+        from repro.suites import get_program
+
+        p = get_program("linear_regression")
+        case = p.verification_cases()[0]
+        fast, ref = self._both(p.trace(case), track_lines=True)
+        self._assert_same(fast, ref)
+        assert ref.per_line is not None
+
+    def test_fast_default_on(self):
+        assert ShadowMemoryDetector().fast is True

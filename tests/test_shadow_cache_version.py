@@ -1,0 +1,74 @@
+"""The shadow-oracle disk cache is versioned on simulator + oracle semantics.
+
+A stale pickle — produced by an older simulator (different trace semantics)
+or an older oracle (different classification rules) — must be discarded, not
+silently reused.  The cache file name carries both versions and the payload
+is stamped with them, so even a file surviving a rename scheme change is
+validated before use.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.lab import Lab
+from repro.experiments.context import PipelineContext
+from repro.versioning import SHADOW_VERSION, SIM_VERSION
+
+KEY = ("some_program", "simsmall", "-O2", 4)
+COUNTS = (11, 22, 33, 44)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def _ctx():
+    return PipelineContext(lab=Lab(), jobs=1)
+
+
+def test_cache_file_keyed_on_both_versions(cache_dir):
+    ctx = _ctx()
+    assert SIM_VERSION in ctx._shadow_path.name
+    assert SHADOW_VERSION in ctx._shadow_path.name
+
+
+def test_roundtrip_with_matching_versions(cache_dir):
+    ctx = _ctx()
+    ctx._shadow_cache[KEY] = COUNTS
+    ctx._flush_shadow()
+    assert _ctx()._shadow_cache == {KEY: COUNTS}
+
+
+def test_stale_version_stamp_discarded(cache_dir):
+    ctx = _ctx()
+    payload = {"versions": ("v0", "s0"), "entries": {KEY: COUNTS}}
+    ctx._shadow_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(ctx._shadow_path, "wb") as fh:
+        pickle.dump(payload, fh)
+    assert _ctx()._shadow_cache == {}
+
+
+def test_legacy_bare_dict_discarded(cache_dir):
+    ctx = _ctx()
+    ctx._shadow_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(ctx._shadow_path, "wb") as fh:
+        pickle.dump({KEY: COUNTS}, fh)
+    assert _ctx()._shadow_cache == {}
+
+
+def test_corrupt_file_discarded(cache_dir):
+    ctx = _ctx()
+    ctx._shadow_path.parent.mkdir(parents=True, exist_ok=True)
+    ctx._shadow_path.write_bytes(b"not a pickle")
+    assert _ctx()._shadow_cache == {}
+
+
+def test_disk_cache_disabled_has_no_path(cache_dir):
+    ctx = PipelineContext(lab=Lab(disk_cache=None), jobs=1)
+    assert ctx._shadow_path is None
+    ctx._flush_shadow()  # must be a no-op, not an error
