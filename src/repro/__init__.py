@@ -15,9 +15,12 @@ Public API quick tour::
 Subpackages: ``coherence`` (MESI multicore simulator), ``pmu`` (events and
 counters), ``workloads`` (mini-programs), ``suites`` (Phoenix/PARSEC
 models), ``ml`` (C4.5/J48 from scratch), ``core`` (the paper's method),
-``baselines`` (shadow-memory oracle, SHERIFF), ``experiments`` (one entry
-per paper table/figure).
+``baselines`` (shadow-memory oracle, SHERIFF), ``analysis`` (simulation-free
+static sharing analyzer, lint rules, cross-detector harness),
+``experiments`` (one entry per paper table/figure).
 """
+
+from repro.analysis import SharingLinter, StaticSharingAnalyzer, analyze_trace
 
 from repro.coherence import MachineSpec, MulticoreMachine, SimulationResult
 from repro.coherence.machine import SCALED_WESTMERE, WESTMERE_SPEC
@@ -57,5 +60,8 @@ __all__ = [
     "RunConfig",
     "Workload",
     "get_workload",
+    "SharingLinter",
+    "StaticSharingAnalyzer",
+    "analyze_trace",
     "__version__",
 ]

@@ -1,0 +1,45 @@
+"""Static sharing analysis: a simulation-free false-sharing verdict.
+
+The package's three pieces form the third detection modality next to the
+dynamic shadow-memory oracle and the trained classifier:
+
+* :mod:`repro.analysis.sharing` — classify every cache line a program
+  touches as private / read-shared / true-shared / false-shared, straight
+  from the trace, with no MESI simulation;
+* :mod:`repro.analysis.lint` — rule engine (FS001..FS004) turning those
+  facts into actionable findings with padding suggestions;
+* :mod:`repro.analysis.crosscheck` — disagreement harness fanning the
+  mini-program grid through static analyzer, shadow oracle, and the
+  trained tree, and reporting where the three detectors diverge.
+"""
+
+from repro.analysis.crosscheck import (
+    CaseRecord,
+    CrossChecker,
+    CrossCheckReport,
+    default_grid,
+)
+from repro.analysis.lint import Finding, SharingLinter
+from repro.analysis.sharing import (
+    SIGNIFICANCE_THRESHOLD,
+    LineSharing,
+    SharingReport,
+    StaticSharingAnalyzer,
+    ThreadProfile,
+    analyze_trace,
+)
+
+__all__ = [
+    "CaseRecord",
+    "CrossChecker",
+    "CrossCheckReport",
+    "default_grid",
+    "Finding",
+    "SharingLinter",
+    "SIGNIFICANCE_THRESHOLD",
+    "LineSharing",
+    "SharingReport",
+    "StaticSharingAnalyzer",
+    "ThreadProfile",
+    "analyze_trace",
+]

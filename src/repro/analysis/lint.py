@@ -1,0 +1,251 @@
+"""Rule engine over static sharing facts: a false-sharing *lint*.
+
+Each rule turns :class:`~repro.analysis.sharing.SharingReport` facts into
+structured :class:`Finding`s a developer can act on:
+
+* **FS001** — a contended false-shared line (the bug itself), with a
+  padding fix sized by replaying
+  :meth:`~repro.core.advisor.FalseSharingAdvisor.pad_trace`'s layout
+  transformation;
+* **FS002** — adjacent-line near-miss: two threads' write regions abut a
+  line boundary closely enough that a small layout change (one more field,
+  a different allocator) would fuse them onto one line — the kind of
+  latent bug SHERIFF's per-thread page twinning defuses at runtime;
+* **FS003** — cache-hostile stride: a thread re-fetches lines it let go
+  cold over an uncacheable footprint (the bad-ma signature);
+* **FS004** — unpadded per-thread struct: the writers' byte spans on a
+  false-shared line form slot-sized per-thread ranges, the classic
+  ``struct { ... } per_thread[NTHREADS]`` layout Figure 1 warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.sharing import (
+    NEAR_MISS_MARGIN,
+    SIGNIFICANCE_THRESHOLD,
+    SharingReport,
+    StaticSharingAnalyzer,
+)
+from repro.core.advisor import ContendedLine, FalseSharingAdvisor
+from repro.memory.layout import LINE_SIZE
+from repro.trace.access import ProgramTrace
+from repro.utils.tables import render_table
+
+#: FS001 escalates from warning to error at this significance.
+ERROR_SIGNIFICANCE = 1e-2
+
+#: FS004: a written span at most this wide reads as one struct slot.
+SLOT_SPAN = 16
+
+
+@dataclass
+class Finding:
+    """One lint finding (rule hit) with its evidence and suggested fix."""
+
+    rule: str
+    severity: str  # "error" | "warning" | "info"
+    message: str
+    lines: List[int] = field(default_factory=list)
+    threads: List[int] = field(default_factory=list)
+    suggestion: str = ""
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "lines": [int(x) for x in self.lines],
+            "threads": [int(t) for t in self.threads],
+            "suggestion": self.suggestion,
+            "data": self.data,
+        }
+
+    def render(self) -> str:
+        where = ", ".join(f"0x{x * LINE_SIZE:x}" for x in self.lines)
+        out = f"{self.rule} [{self.severity}] {where}: {self.message}"
+        if self.suggestion:
+            out += f"\n      fix: {self.suggestion}"
+        return out
+
+
+class SharingLinter:
+    """Runs every FS rule over a trace (or a precomputed report)."""
+
+    RULES = ("FS001", "FS002", "FS003", "FS004")
+
+    def __init__(self, analyzer: Optional[StaticSharingAnalyzer] = None,
+                 advisor: Optional[FalseSharingAdvisor] = None) -> None:
+        self.analyzer = analyzer or StaticSharingAnalyzer()
+        #: pad_trace's layout transformation is all we use; no detector
+        #: is needed to *suggest* a fix, only to price one dynamically.
+        self.advisor = advisor or FalseSharingAdvisor(detector=None)
+
+    def lint(self, program: ProgramTrace,
+             report: Optional[SharingReport] = None) -> List[Finding]:
+        report = report or self.analyzer.analyze(program)
+        findings: List[Finding] = []
+        findings += self._fs001(program, report)
+        findings += self._fs002(report)
+        findings += self._fs003(report)
+        findings += self._fs004(report)
+        rank = {"error": 0, "warning": 1, "info": 2}
+        findings.sort(key=lambda f: (rank[f.severity], f.rule))
+        return findings
+
+    # ------------------------------------------------------------- FS001
+
+    def _fs001(self, program: ProgramTrace,
+               report: SharingReport) -> List[Finding]:
+        hot = report.false_shared(min_significance=SIGNIFICANCE_THRESHOLD)
+        if not hot:
+            return []
+        contended = [
+            ContendedLine(
+                line=ls.line,
+                writers=sorted(ls.writers),
+                writes_per_thread={u.tid: u.writes for u in ls.uses
+                                   if u.writes},
+                # Spans are per-thread disjoint, so span word counts add up.
+                distinct_words=sum(
+                    hi // 4 - lo // 4 + 1
+                    for lo, hi in ls.evidence().values()
+                ),
+            )
+            for ls in hot
+        ]
+        # Size the fix exactly the way the advisor replays it: each
+        # (line, writer) pair moves to a fresh private line.
+        padded = self.advisor.pad_trace(program, contended)
+        extra_lines = sum(len(cl.writers) for cl in contended)
+        out = []
+        for ls in hot:
+            sev = ("error" if ls.significance >= ERROR_SIGNIFICANCE
+                   else "warning")
+            spans = "; ".join(
+                f"T{t} writes bytes [{lo},{hi}]"
+                for t, (lo, hi) in sorted(ls.evidence().items())
+            )
+            out.append(Finding(
+                rule="FS001",
+                severity=sev,
+                message=(f"false sharing: {len(ls.writers)} threads write "
+                         f"disjoint ranges of this line ({spans}); "
+                         f"significance {ls.significance:.2e}"),
+                lines=[ls.line],
+                threads=sorted(ls.threads),
+                suggestion=(
+                    "give each thread's data its own cache line — padding "
+                    f"the {len(contended)} contended line(s) adds "
+                    f"{extra_lines} private line(s) "
+                    f"({extra_lines * LINE_SIZE} bytes, replayed layout "
+                    f"'{padded.name}')"
+                ),
+                data={"significance": ls.significance,
+                      "evidence": {str(t): list(sp) for t, sp
+                                   in ls.evidence().items()}},
+            ))
+        return out
+
+    # ------------------------------------------------------------- FS002
+
+    @staticmethod
+    def _fs002(report: SharingReport) -> List[Finding]:
+        return [
+            Finding(
+                rule="FS002",
+                severity="info",
+                message=(f"near miss: T{nm.tid_low} and T{nm.tid_high} "
+                         "write adjacent lines with only "
+                         f"{nm.slack_bytes} bytes of slack across the "
+                         "boundary"),
+                lines=[nm.line, nm.line + 1],
+                threads=sorted({nm.tid_low, nm.tid_high}),
+                suggestion=("keep line-aligned per-thread data at least "
+                            f"{NEAR_MISS_MARGIN} bytes clear of line "
+                            "boundaries"),
+                data={"slack_bytes": nm.slack_bytes},
+            )
+            for nm in report.near_misses
+        ]
+
+    # ------------------------------------------------------------- FS003
+
+    @staticmethod
+    def _fs003(report: SharingReport) -> List[Finding]:
+        out = []
+        for p in report.profiles:
+            if not p.hostile:
+                continue
+            out.append(Finding(
+                rule="FS003",
+                severity="warning",
+                message=(f"cache-hostile stride: T{p.tid} re-fetches "
+                         f"{100 * p.refetch_rate:.0f}% of its accesses "
+                         f"over a {p.footprint_lines}-line footprint"),
+                threads=[p.tid],
+                suggestion=("visit memory in address order (or blocks "
+                            "that fit the cache) instead of large strides "
+                            "or random order"),
+                data={"refetch_rate": p.refetch_rate,
+                      "footprint_lines": p.footprint_lines},
+            ))
+        return out
+
+    # ------------------------------------------------------------- FS004
+
+    @staticmethod
+    def _fs004(report: SharingReport) -> List[Finding]:
+        out = []
+        for ls in report.false_shared(
+                min_significance=SIGNIFICANCE_THRESHOLD):
+            spans = ls.evidence()
+            if len(spans) < 2:
+                continue
+            widths = [hi - lo + 1 for lo, hi in spans.values()]
+            if max(widths) > SLOT_SPAN:
+                continue
+            slot = max(widths)
+            out.append(Finding(
+                rule="FS004",
+                severity="info",
+                message=(f"unpadded per-thread struct: {len(spans)} "
+                         f"threads own slot-sized (≤{slot} B) ranges "
+                         "packed into one line"),
+                lines=[ls.line],
+                threads=sorted(spans),
+                suggestion=(f"pad each per-thread slot from ~{slot} to "
+                            f"{LINE_SIZE} bytes (one line per thread), or "
+                            "use thread-local storage"),
+                data={"slot_bytes": slot,
+                      "spans": {str(t): list(sp)
+                                for t, sp in spans.items()}},
+            ))
+        return out
+
+
+def render_findings(findings: List[Finding]) -> str:
+    """Human-readable lint output (compiler-diagnostic style)."""
+    if not findings:
+        return "no findings — the layout and access order look clean."
+    by_sev: Dict[str, int] = {}
+    for f in findings:
+        by_sev[f.severity] = by_sev.get(f.severity, 0) + 1
+    head = ", ".join(f"{n} {sev}(s)" for sev, n in sorted(by_sev.items()))
+    body = "\n".join(f.render() for f in findings)
+    return f"{len(findings)} finding(s): {head}\n{body}"
+
+
+def findings_table(findings: List[Finding]) -> str:
+    rows = [
+        [f.rule, f.severity,
+         ", ".join(f"0x{x * LINE_SIZE:x}" for x in f.lines) or "-",
+         ", ".join(f"T{t}" for t in f.threads) or "-",
+         f.message]
+        for f in findings
+    ]
+    return render_table(["rule", "severity", "lines", "threads", "message"],
+                       rows, title="Lint findings", align_right=False)

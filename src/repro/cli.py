@@ -6,7 +6,12 @@
   style summaries and the tree;
 * ``repro-detect WORKLOAD [options]`` — classify a program run (the paper's
   end-user workflow);
-* ``repro-experiment ID...`` — regenerate paper tables/figures.
+* ``repro-analyze WORKLOAD [options]`` — simulation-free static sharing
+  analysis and lint (also ``--crosscheck`` for the three-detector
+  disagreement harness);
+* ``repro-experiment ID...`` — regenerate paper tables/figures;
+* ``repro <perf|train|detect|analyze|experiment> ...`` — umbrella command
+  dispatching to the above.
 """
 
 from __future__ import annotations
@@ -239,6 +244,112 @@ def detect_main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Static sharing analysis: lint one run, or cross-check the grid."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Simulation-free static sharing analysis: classify "
+                    "every cache line, lint the layout (FS001..FS004), "
+                    "or cross-check static vs shadow-oracle vs tree "
+                    "verdicts over the mini-program grid.",
+    )
+    parser.add_argument("workload", nargs="?", default="",
+                        help="mini-program or suite program name "
+                             "(omit with --crosscheck)")
+    parser.add_argument("-t", "--threads", type=int, default=6)
+    parser.add_argument("-m", "--mode", default="good",
+                        help="mini-programs: good | bad-fs | bad-ma")
+    parser.add_argument("-n", "--size", type=int, default=0,
+                        help="problem size (mini-programs; 0 = default)")
+    parser.add_argument("--pattern", default="random",
+                        help="bad-ma access pattern (random, strideN)")
+    parser.add_argument("--input", default="",
+                        help="input set (suite programs, e.g. simsmall)")
+    parser.add_argument("--opt", default="-O2",
+                        help="optimization level for suite programs")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of tables")
+    parser.add_argument("--top", type=int, default=12,
+                        help="false-shared lines to show (table output)")
+    parser.add_argument("--crosscheck", action="store_true",
+                        help="run the mini-program grid through static "
+                             "analyzer, shadow oracle and trained tree "
+                             "and report disagreements")
+    parser.add_argument("--grid-threads", default="2,6",
+                        help="thread counts for the --crosscheck grid")
+    _add_jobs_option(parser)
+    args = parser.parse_args(argv)
+    try:
+        import json as _json
+
+        from repro.analysis.lint import SharingLinter, render_findings
+        from repro.analysis.sharing import StaticSharingAnalyzer
+
+        _apply_jobs(args)
+        if args.crosscheck:
+            from repro.analysis.crosscheck import CrossChecker, default_grid
+            from repro.experiments.context import default_context
+
+            threads = tuple(int(x) for x in
+                            args.grid_threads.split(",") if x.strip())
+            ctx = default_context()
+            checker = CrossChecker(ctx.detector, shadow=ctx.shadow,
+                                   engine=ctx.engine)
+            report = checker.run(default_grid(threads=threads))
+            print(report.to_json(indent=2) if args.json
+                  else report.render())
+            return 0 if not report.disagreements() else 1
+        if not args.workload:
+            parser.error("a workload name is required unless --crosscheck")
+        target, kind = _resolve_target(args.workload)
+        cfg = _build_config(target, kind, args)
+        program = target.trace(cfg)
+        analyzer = StaticSharingAnalyzer()
+        rep = analyzer.analyze(program)
+        findings = SharingLinter(analyzer).lint(program, rep)
+        if args.json:
+            print(_json.dumps(
+                {"report": rep.to_dict(),
+                 "findings": [f.to_dict() for f in findings]},
+                indent=2,
+            ))
+        else:
+            print(rep.render(top=args.top))
+            print()
+            print(render_findings(findings))
+        return 0 if rep.verdict == "good" else 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+_SUBCOMMANDS = {
+    "perf": perf_main,
+    "train": train_main,
+    "detect": detect_main,
+    "analyze": analyze_main,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Umbrella entry point: ``repro <subcommand> ...``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    known = sorted(list(_SUBCOMMANDS) + ["experiment"])
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: repro <%s> ..." % "|".join(known))
+        print("run `repro <subcommand> --help` for subcommand options")
+        return 0 if argv else 2
+    cmd, rest = argv[0], argv[1:]
+    if cmd == "experiment":
+        return experiment_main(rest)
+    fn = _SUBCOMMANDS.get(cmd)
+    if fn is None:
+        print(f"error: unknown subcommand {cmd!r}; "
+              f"expected one of {known}", file=sys.stderr)
+        return 2
+    return fn(rest)
 
 
 def experiment_main(argv: Optional[Sequence[str]] = None) -> int:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.detector import FalseSharingDetector
+from repro.errors import NotFittedError
 from repro.memory.layout import LINE_SIZE
 from repro.pmu.events import TABLE2_EVENTS
 from repro.trace.access import ProgramTrace, ThreadTrace
@@ -89,9 +90,15 @@ class Diagnosis:
 
 
 class FalseSharingAdvisor:
-    """Names the contended lines behind a bad-fs verdict and sizes the fix."""
+    """Names the contended lines behind a bad-fs verdict and sizes the fix.
 
-    def __init__(self, detector: FalseSharingDetector,
+    The trace-level helpers (:meth:`find_contended_lines`,
+    :meth:`pad_trace`) are purely structural and work with
+    ``detector=None``; only :meth:`diagnose` needs a fitted detector to
+    produce the verdict (the static lint reuses the helpers this way).
+    """
+
+    def __init__(self, detector: Optional[FalseSharingDetector] = None,
                  top_lines: int = 8) -> None:
         self.detector = detector
         self.top_lines = top_lines
@@ -169,6 +176,11 @@ class FalseSharingAdvisor:
 
     def diagnose_trace(self, program: ProgramTrace,
                        run_id: str = "") -> Diagnosis:
+        if self.detector is None:
+            raise NotFittedError(
+                "diagnosis needs a fitted detector; construct the advisor "
+                "with FalseSharingAdvisor(detector)"
+            )
         lab = self.detector.lab
         machine = lab.machine
         res = machine.run(program, chunk=lab.chunk)

@@ -77,6 +77,7 @@ def _ensure_loaded() -> None:
     # Import the experiment modules for their registration side effects.
     from repro.experiments import (  # noqa: F401
         exp_ablations,
+        exp_crosscheck,
         exp_detection,
         exp_future,
         exp_perf,

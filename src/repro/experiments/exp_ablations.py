@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-import numpy as np
 
 from repro.experiments.base import ExperimentResult, experiment
 from repro.experiments.context import PipelineContext

@@ -39,8 +39,8 @@ def future_slices(ctx: PipelineContext) -> ExperimentResult:
             "labels": diag.labels,
             "overall": diag.overall,
             "fs_time_fraction": diag.fs_time_fraction(),
-            "middle_all_fs": all(l == "bad-fs" for l in middle),
-            "edges_no_fs": all(l != "bad-fs" for l in edges),
+            "middle_all_fs": all(lbl == "bad-fs" for lbl in middle),
+            "edges_no_fs": all(lbl != "bad-fs" for lbl in edges),
         },
         paper="Section 6: 'detecting false sharing at a finer granularity, "
               "for e.g., in short time slices' — implemented here: a "
@@ -174,7 +174,7 @@ def future_c2c(ctx: PipelineContext) -> ExperimentResult:
     suspects = rep.false_sharing_suspects()
     text = rep.render(6)
     text += (f"\nfalse-sharing suspects: "
-             f"{[hex(l.address) for l in suspects]}"
+             f"{[hex(c.address) for c in suspects]}"
              f" (the packed 40-byte lreg_args structs)")
     top = rep.lines[0] if rep.lines else None
     return ExperimentResult(

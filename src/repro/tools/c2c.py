@@ -12,7 +12,7 @@ sampling-based alternative the paper's related work discusses.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import PMUError
@@ -63,8 +63,8 @@ class C2CReport:
         return self.lines[:n]
 
     def false_sharing_suspects(self) -> List[C2CLine]:
-        return [l for l in self.lines
-                if l.sharing_kind == "false-sharing-suspect"]
+        return [ln for ln in self.lines
+                if ln.sharing_kind == "false-sharing-suspect"]
 
     def render(self, n: int = 10) -> str:
         rows = []

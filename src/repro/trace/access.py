@@ -53,7 +53,16 @@ class ThreadTrace:
                 "must have the same length"
             )
         if self.addrs.size and self.addrs.min() < 0:
-            raise TraceError("addresses must be non-negative")
+            raise TraceError(
+                f"addresses must be non-negative (got {int(self.addrs.min())})"
+            )
+        # NaN compares False against everything, so the >= 1 check alone
+        # would silently admit it (and +inf); reject non-finite explicitly.
+        if not np.isfinite(self.instr_per_access):
+            raise TraceError(
+                "instr_per_access must be finite "
+                f"(got {self.instr_per_access!r})"
+            )
         if self.instr_per_access < 1.0:
             raise TraceError("instr_per_access must be >= 1 (the access itself)")
         if self.extra_instructions < 0:

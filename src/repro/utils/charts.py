@@ -8,7 +8,7 @@ in plain text.  No plotting dependency, deterministic output, fixed widths
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 BAR_CHAR = "#"
 
@@ -47,7 +47,7 @@ def hbar_chart(
     else:
         scaled = list(values)
     peak = max(scaled) or 1.0
-    lab_w = max(len(str(l)) for l in labels)
+    lab_w = max(len(str(lab)) for lab in labels)
     for label, value, s in zip(labels, values, scaled):
         bar = BAR_CHAR * max(1 if value > 0 else 0,
                              round(width * s / peak))

@@ -1,0 +1,167 @@
+"""Tests for the sharing lint rules (FS001-FS004)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lint import (
+    SLOT_SPAN,
+    Finding,
+    SharingLinter,
+    findings_table,
+    render_findings,
+)
+from repro.trace.access import ProgramTrace, make_thread
+from repro.workloads.base import RunConfig
+from repro.workloads.registry import get_workload
+
+
+def rmw_thread(addr, n):
+    addrs = np.full(2 * n, addr, dtype=np.int64)
+    writes = np.zeros(2 * n, bool)
+    writes[1::2] = True
+    return make_thread(addrs, writes)
+
+
+@pytest.fixture(scope="module")
+def linter():
+    return SharingLinter()
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestFS001:
+    def test_fires_on_packed_counters(self, linter):
+        prog = ProgramTrace([rmw_thread(4096, 200), rmw_thread(4104, 200)])
+        findings = linter.lint(prog)
+        (f,) = [f for f in findings if f.rule == "FS001"]
+        assert f.severity == "error"  # significance ~1.0
+        assert f.lines == [64]
+        assert f.threads == [0, 1]
+        assert "padding" in f.suggestion
+        assert "+padded" in f.suggestion
+
+    def test_warning_below_error_threshold(self, linter):
+        # contended line carries ~0.4% of instructions: above the report
+        # threshold, below the error escalation
+        t0 = rmw_thread(4096, 10).concat(rmw_thread(8192, 2500))
+        t1 = rmw_thread(4104, 10).concat(rmw_thread(12288, 2500))
+        findings = [f for f in linter.lint(ProgramTrace([t0, t1]))
+                    if f.rule == "FS001"]
+        assert [f.severity for f in findings] == ["warning"]
+
+    def test_silent_on_handoff(self, linter):
+        t0 = rmw_thread(4096, 10).concat(rmw_thread(8192, 500))
+        t1 = rmw_thread(12288, 500).concat(rmw_thread(4104, 10))
+        assert "FS001" not in rules(linter.lint(ProgramTrace([t0, t1])))
+
+
+class TestFS002:
+    def test_fires_on_tight_adjacent_writers(self, linter):
+        prog = ProgramTrace([rmw_thread(4096 + 60, 100),
+                             rmw_thread(4160, 100)])
+        (f,) = [f for f in linter.lint(prog) if f.rule == "FS002"]
+        assert f.severity == "info"
+        assert f.lines == [64, 65]
+        assert f.data["slack_bytes"] == 3
+
+    def test_silent_on_roomy_layout(self, linter):
+        prog = ProgramTrace([rmw_thread(4096, 100),
+                             rmw_thread(4160 + 60, 100)])
+        assert "FS002" not in rules(linter.lint(prog))
+
+
+class TestFS003:
+    def test_fires_on_hostile_scan(self, linter):
+        once = np.arange(0, 512 * 64, 64, dtype=np.int64)
+        prog = ProgramTrace([make_thread(np.tile(once, 4)),
+                             rmw_thread(1 << 20, 100)])
+        (f,) = [f for f in linter.lint(prog) if f.rule == "FS003"]
+        assert f.severity == "warning"
+        assert f.threads == [0]
+        assert f.data["footprint_lines"] == 512
+
+    def test_silent_on_streaming_scan(self, linter):
+        addrs = np.arange(0, 512 * 64, 8, dtype=np.int64)
+        prog = ProgramTrace([make_thread(addrs)])
+        assert "FS003" not in rules(linter.lint(prog))
+
+
+class TestFS004:
+    def test_fires_on_slot_packed_line(self, linter):
+        prog = ProgramTrace([rmw_thread(4096 + 8 * t, 200)
+                             for t in range(4)])
+        (f,) = [f for f in linter.lint(prog) if f.rule == "FS004"]
+        assert f.severity == "info"
+        assert f.threads == [0, 1, 2, 3]
+        assert f.data["slot_bytes"] <= SLOT_SPAN
+
+    def test_silent_when_spans_are_wide(self, linter):
+        # each thread sweeps a 28-byte range of the line: false sharing
+        # (FS001) but not the packed-slot shape
+        def wide(base):
+            addrs = np.tile(np.arange(base, base + 28, 4, dtype=np.int64),
+                            50)
+            return make_thread(addrs, np.ones(addrs.size, bool))
+
+        prog = ProgramTrace([wide(4096), wide(4096 + 32)])
+        got = rules(linter.lint(prog))
+        assert "FS001" in got
+        assert "FS004" not in got
+
+
+class TestLinterFrontend:
+    def test_clean_program_no_findings(self, linter):
+        prog = ProgramTrace([rmw_thread(4096, 100), rmw_thread(8192, 100)])
+        assert linter.lint(prog) == []
+
+    def test_severity_ordering(self, linter):
+        # error (FS001) must precede info (FS004) regardless of rule id
+        prog = ProgramTrace([rmw_thread(4096 + 8 * t, 200)
+                             for t in range(4)])
+        sevs = [f.severity for f in linter.lint(prog)]
+        assert sevs == sorted(
+            sevs, key=lambda s: {"error": 0, "warning": 1, "info": 2}[s]
+        )
+
+    def test_precomputed_report_reused(self, linter):
+        prog = ProgramTrace([rmw_thread(4096, 200), rmw_thread(4104, 200)])
+        rep = linter.analyzer.analyze(prog)
+        assert rules(linter.lint(prog, rep)) == rules(linter.lint(prog))
+
+    def test_mini_program_bad_fs(self, linter):
+        w = get_workload("psums")
+        prog = w.trace(RunConfig(threads=4, mode="bad-fs", size=2000))
+        got = rules(linter.lint(prog))
+        assert "FS001" in got
+        assert "FS004" in got  # 8-byte slots packed into one line
+
+    def test_mini_program_good_clean_of_fs(self, linter):
+        w = get_workload("psums")
+        prog = w.trace(RunConfig(threads=4, mode="good", size=2000))
+        assert "FS001" not in rules(linter.lint(prog))
+
+
+class TestRendering:
+    def test_render_findings_empty(self):
+        assert "clean" in render_findings([])
+
+    def test_render_findings_counts(self):
+        fs = [Finding("FS001", "error", "m", [1]),
+              Finding("FS003", "warning", "m")]
+        out = render_findings(fs)
+        assert "2 finding(s)" in out
+        assert "1 error(s)" in out
+
+    def test_findings_table(self):
+        out = findings_table([Finding("FS001", "error", "msg", [64], [0])])
+        assert "FS001" in out
+        assert "0x1000" in out
+
+    def test_finding_to_dict(self):
+        d = Finding("FS002", "info", "m", [1, 2], [0, 3], "fix",
+                    {"k": 1}).to_dict()
+        assert d["rule"] == "FS002"
+        assert d["lines"] == [1, 2]
+        assert d["data"] == {"k": 1}

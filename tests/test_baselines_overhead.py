@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines.overhead import OverheadReport, overhead_report
+from repro.baselines.overhead import overhead_report
 from repro.coherence.machine import MachineSpec, SimulationResult
 from repro.pmu.events import TABLE2_EVENTS
 

@@ -51,7 +51,8 @@ class TestClassification:
         assert rep.fs_misses == 0 and rep.ts_misses == 0
 
     def test_read_only_sharing_no_misses_counted(self):
-        t = lambda: make_thread(np.full(100, 4096, dtype=np.int64))
+        def t():
+            return make_thread(np.full(100, 4096, dtype=np.int64))
         rep = ShadowMemoryDetector().run(ProgramTrace([t(), t()]))
         assert rep.fs_misses == 0 and rep.ts_misses == 0
 

@@ -1,9 +1,7 @@
 """Tests for the SHERIFF-style epoch detector."""
 
 import numpy as np
-import pytest
-
-from repro.baselines.sheriff import SIGNIFICANCE_THRESHOLD, SheriffDetector
+from repro.baselines.sheriff import SheriffDetector
 from repro.trace.access import ProgramTrace, make_thread
 
 

@@ -1,8 +1,15 @@
 """Tests for the command-line tools."""
 
+import json
+
 import pytest
 
-from repro.cli import detect_main, experiment_main, perf_main, train_main
+from repro.cli import (
+    analyze_main,
+    experiment_main,
+    main,
+    perf_main,
+)
 
 
 class TestPerfList:
@@ -54,6 +61,69 @@ class TestPerfStat:
     def test_bad_mode_fails_cleanly(self, capsys):
         rc = perf_main(["stat", "psums", "-m", "awful"])
         assert rc == 2
+
+
+class TestAnalyzeCLI:
+    def test_good_run_exits_zero(self, capsys):
+        rc = analyze_main(["psums", "-t", "4", "-m", "good", "-n", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict: good" in out
+        assert "clean" in out
+
+    def test_bad_fs_run_exits_one_with_findings(self, capsys):
+        rc = analyze_main(["psums", "-t", "4", "-m", "bad-fs",
+                           "-n", "2000"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "verdict: bad-fs" in out
+        assert "FS001" in out
+        assert "fix:" in out
+
+    def test_json_output(self, capsys):
+        rc = analyze_main(["psums", "-t", "4", "-m", "bad-fs",
+                           "-n", "2000", "--json"])
+        assert rc == 1
+        d = json.loads(capsys.readouterr().out)
+        assert d["report"]["verdict"] == "bad-fs"
+        assert any(f["rule"] == "FS001" for f in d["findings"])
+
+    def test_bad_ma_sequential(self, capsys):
+        rc = analyze_main(["seq_matmul", "-t", "1", "-m", "bad-ma"])
+        assert rc == 1
+        assert "FS003" in capsys.readouterr().out
+
+    def test_workload_required_without_crosscheck(self, capsys):
+        with pytest.raises(SystemExit):
+            analyze_main([])
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        rc = analyze_main(["nonesuch"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestUmbrellaMain:
+    def test_no_args_prints_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage: repro" in capsys.readouterr().out
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+
+    def test_unknown_subcommand(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err
+
+    def test_dispatches_to_analyze(self, capsys):
+        rc = main(["analyze", "psums", "-t", "4", "-m", "good",
+                   "-n", "2000"])
+        assert rc == 0
+        assert "verdict: good" in capsys.readouterr().out
+
+    def test_dispatches_to_perf(self, capsys):
+        assert main(["perf", "list"]) == 0
+        assert "pdot" in capsys.readouterr().out
 
 
 class TestExperimentCLI:

@@ -12,7 +12,6 @@ from repro.coherence.machine import (
 from repro.errors import SimulationError
 from repro.trace.access import ProgramTrace, make_thread
 
-from tests.conftest import SMALL_SPEC
 
 
 def run(machine, threads, chunk=4):
@@ -93,7 +92,8 @@ class TestSingleCore:
     def test_prefetch_cheapens_linear_streams(self, small_spec):
         noisy = MulticoreMachine(small_spec, prefetch=False)
         quick = MulticoreMachine(small_spec, prefetch=True)
-        t = lambda: [stream_thread(1 << 20, 512, step=64)]
+        def t():
+            return [stream_thread(1 << 20, 512, step=64)]
         slow = noisy.run(ProgramTrace(t()))
         fast = quick.run(ProgramTrace(t()))
         assert fast.seconds < slow.seconds
@@ -127,7 +127,8 @@ class TestCoherence:
 
     def test_read_sharing_uses_hite_then_hit(self, machine):
         # three threads read the same line; no writes anywhere
-        t = lambda: make_thread(np.full(50, 4096, dtype=np.int64))
+        def t():
+            return make_thread(np.full(50, 4096, dtype=np.int64))
         r = run(machine, [t(), t(), t()], chunk=8)
         assert r.counts["SNOOP_RESPONSE.HITM"] == 0
         assert r.counts["SNOOP_RESPONSE.HITE"] >= 1
@@ -221,8 +222,9 @@ class TestValidation:
         assert r.meta["workload"] == "w"
 
     def test_determinism(self, machine):
-        prog = lambda: ProgramTrace([rmw_thread(4096, 200),
-                                     rmw_thread(4104, 200)])
+        def prog():
+            return ProgramTrace([rmw_thread(4096, 200),
+                                 rmw_thread(4104, 200)])
         a = machine.run(prog())
         b = machine.run(prog())
         assert a.counts == b.counts

@@ -85,6 +85,57 @@ class TestPadTrace:
         assert advisor.pad_trace(prog, []) is prog
 
 
+class TestPadTraceEdgeCases:
+    """pad_trace is purely structural — no detector needed."""
+
+    @pytest.fixture
+    def bare(self):
+        return FalseSharingAdvisor(detector=None)
+
+    def test_single_thread_program_never_contended(self, bare):
+        prog = ProgramTrace([rmw_thread(4096, 100)])
+        assert bare.find_contended_lines(prog) == []
+        assert bare.pad_trace(prog, []) is prog
+
+    def test_sole_writer_line_untouched(self, bare):
+        # T1 only reads line 64; padding the contended line must not move
+        # accesses of threads that never wrote it.
+        reads = make_thread(np.full(50, 4160, dtype=np.int64))
+        prog = ProgramTrace([
+            rmw_thread(4096, 100).concat(rmw_thread(4160, 100)),
+            rmw_thread(4104, 100).concat(reads),
+        ])
+        found = bare.find_contended_lines(prog)
+        assert [cl.line for cl in found] == [64]
+        fixed = bare.pad_trace(prog, found)
+        # T1's reads of line 65 stay where they were
+        assert (fixed.threads[1].addrs[-50:] == 4160).all()
+        # and line 65, written only by T0, is not remapped either
+        assert 65 in set((fixed.threads[0].addrs >> 6).tolist())
+
+    def test_idempotent(self, bare):
+        prog = ProgramTrace([rmw_thread(4096, 200), rmw_thread(4104, 200)])
+        once = bare.pad_trace(prog, bare.find_contended_lines(prog))
+        # after padding there is nothing left to find, so a second pass
+        # is the identity
+        assert bare.find_contended_lines(once) == []
+        twice = bare.pad_trace(once, bare.find_contended_lines(once))
+        assert twice is once
+
+    def test_padded_name_suffix(self, bare):
+        prog = ProgramTrace([rmw_thread(4096, 200), rmw_thread(4104, 200)],
+                            name="demo")
+        fixed = bare.pad_trace(prog, bare.find_contended_lines(prog))
+        assert fixed.name == "demo+padded"
+
+    def test_diagnose_without_detector_raises(self, bare):
+        from repro.errors import NotFittedError
+
+        prog = ProgramTrace([rmw_thread(4096, 10)])
+        with pytest.raises(NotFittedError):
+            bare.diagnose_trace(prog)
+
+
 class TestDiagnose:
     def test_bad_fs_diagnosis_end_to_end(self, advisor):
         pdot = get_workload("pdot")

@@ -9,14 +9,12 @@ import pytest
 from repro.core.detector import CaseResult, FalseSharingDetector, detects_false_sharing
 from repro.core.lab import Lab
 from repro.core.training import (
-    FEATURE_NAMES,
     PlanRow,
     ScreeningReport,
     TrainingData,
     collect_plan,
 )
 from repro.errors import NotFittedError
-from repro.ml.dataset import Dataset
 from repro.workloads.base import Mode, RunConfig
 from repro.workloads.registry import get_workload
 

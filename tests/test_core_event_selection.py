@@ -9,7 +9,6 @@ import pytest
 
 from repro.core.event_selection import (
     MIN_RATIO,
-    SelectionResult,
     select_events,
 )
 from repro.core.lab import Lab

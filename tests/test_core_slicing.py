@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.slicing import SlicedDetector, SlicedDiagnosis, SliceVerdict, phased_program
+from repro.core.slicing import SlicedDetector, phased_program
 from repro.errors import ConfigError
 from repro.workloads.base import RunConfig
 from repro.workloads.registry import get_workload

@@ -28,6 +28,12 @@ class TestRegistry:
         assert {"ablation_classifiers", "ablation_events",
                 "ablation_partb", "ablation_noise"} <= ids
 
+    def test_crosscheck_registered(self):
+        # runs the full pipeline, so only registration is asserted here;
+        # the harness itself is covered by tests/test_analysis_crosscheck.py
+        assert "crosscheck" in experiment_ids()
+        assert "disagreement" in experiment_title("crosscheck")
+
     def test_titles_resolve(self):
         for eid in experiment_ids():
             assert experiment_title(eid)

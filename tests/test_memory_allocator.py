@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.memory.allocator import BumpAllocator
-from repro.memory.layout import LINE_SIZE, line_of
+from repro.memory.layout import line_of
 
 
 class TestBumpAllocator:

@@ -1,6 +1,5 @@
 """Tests for event vectors and normalization."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PMUError

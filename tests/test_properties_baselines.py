@@ -1,7 +1,6 @@
 """Property-based tests for the baseline detectors."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.shadow import ShadowMemoryDetector

@@ -7,7 +7,6 @@ that a single-threaded run never snoops.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.coherence.machine import MulticoreMachine

@@ -1,8 +1,6 @@
 """Tests for the shared parametric benchmark model."""
 
 import numpy as np
-import pytest
-
 from repro.memory.layout import line_of
 from repro.suites.base import SuiteCase
 from repro.suites.common import ParamModel, kb, mb

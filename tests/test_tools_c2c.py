@@ -5,7 +5,7 @@ import pytest
 
 from repro.coherence.machine import MulticoreMachine
 from repro.errors import PMUError
-from repro.tools.c2c import C2CLine, C2CReport, c2c_report
+from repro.tools.c2c import c2c_report
 from repro.trace.access import ProgramTrace, make_thread
 from repro.workloads.base import RunConfig
 from repro.workloads.registry import get_workload

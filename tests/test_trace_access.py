@@ -35,13 +35,26 @@ class TestThreadTrace:
             ThreadTrace(np.zeros(3, np.int64), np.zeros(2, bool))
 
     def test_negative_address_rejected(self):
-        with pytest.raises(TraceError):
+        with pytest.raises(TraceError, match="non-negative"):
             make_thread(np.array([-1]))
+
+    def test_negative_address_among_valid_rejected(self):
+        with pytest.raises(TraceError, match="non-negative"):
+            make_thread(np.array([0, 64, -8, 128]))
 
     def test_ipa_below_one_rejected(self):
         with pytest.raises(TraceError):
             ThreadTrace(np.zeros(1, np.int64), np.zeros(1, bool),
                         instr_per_access=0.5)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_ipa_rejected(self, bad):
+        # NaN compares False against 1.0, so only an explicit finiteness
+        # check catches it; inf would silently blow up instruction counts.
+        with pytest.raises(TraceError, match="finite"):
+            ThreadTrace(np.zeros(1, np.int64), np.zeros(1, bool),
+                        instr_per_access=bad)
 
     def test_negative_extra_rejected(self):
         with pytest.raises(TraceError):

@@ -1,6 +1,5 @@
 """Tests for deterministic RNG utilities."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.errors import ConfigError, WorkloadError
+from repro.errors import ConfigError
 from repro.workloads.base import (
     Mode,
     RunConfig,

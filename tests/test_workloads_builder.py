@@ -5,10 +5,9 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.memory.layout import line_of
-from repro.workloads.base import Mode, RunConfig
+from repro.workloads.base import RunConfig
 from repro.workloads.builder import WorkloadBuilder
 
-from tests.conftest import SMALL_SPEC
 
 
 def simple(name="w", **kw):

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.memory.layout import line_of
-from repro.workloads.base import Mode, RunConfig
+from repro.workloads.base import RunConfig
 from repro.workloads.registry import get_workload, mt_miniprograms
 
 ALL_MT = ("psums", "padding", "false1", "psumv", "pdot", "count",

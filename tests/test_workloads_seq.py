@@ -102,8 +102,6 @@ class TestArchitecturalEffects:
     the paper's Section 2.2.2 relies on (simulated on the small test spec)."""
 
     def _repl(self, machine, name, mode, pattern="random", size=16_384):
-        from repro.trace.access import ProgramTrace
-
         w = get_workload(name)
         cfg = RunConfig(threads=1, mode=mode, size=size, pattern=pattern)
         res = machine.run(w.trace(cfg))
@@ -125,8 +123,6 @@ class TestArchitecturalEffects:
         assert s16 >= s2
 
     def test_matmul_loop_order_effect(self, machine):
-        from repro.trace.access import ProgramTrace
-
         w = get_workload("seq_matmul")
         good = machine.run(w.trace(RunConfig(threads=1, mode="good",
                                              size=2_048)))
