@@ -10,8 +10,11 @@
   analysis and lint (also ``--crosscheck`` for the three-detector
   disagreement harness);
 * ``repro-experiment ID...`` — regenerate paper tables/figures;
-* ``repro <perf|train|detect|analyze|experiment> ...`` — umbrella command
-  dispatching to the above.
+* ``repro-bench`` — replay the pinned simulator benchmark grid, write a
+  BENCH-compatible result + run manifest, and gate against a committed
+  baseline (the CI perf-regression job);
+* ``repro <perf|train|detect|analyze|bench|experiment> ...`` — umbrella
+  command dispatching to the above.
 """
 
 from __future__ import annotations
@@ -325,11 +328,19 @@ def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
 
+def bench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Pinned benchmark replay + perf-regression gate (``repro-bench``)."""
+    from repro.telemetry.bench import bench_main as _bench_main
+
+    return _bench_main(argv)
+
+
 _SUBCOMMANDS = {
     "perf": perf_main,
     "train": train_main,
     "detect": detect_main,
     "analyze": analyze_main,
+    "bench": bench_main,
 }
 
 
@@ -387,4 +398,4 @@ def experiment_main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(experiment_main())
+    sys.exit(main())

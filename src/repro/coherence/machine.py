@@ -29,6 +29,7 @@ The machine ships two drive paths with pinned-identical event semantics:
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -40,6 +41,7 @@ from repro.coherence.protocol import EXCLUSIVE, MODIFIED, SHARED
 from repro.coherence.timing import DEFAULT_LATENCY, LatencyModel
 from repro.errors import SimulationError
 from repro.memory.layout import LINE_SIZE
+from repro.telemetry.core import TELEMETRY
 from repro.trace.access import ProgramTrace
 from repro.trace.streams import DEFAULT_CHUNK, interleave
 
@@ -195,6 +197,9 @@ class MulticoreMachine:
         self.hitm_sample_period = hitm_sample_period
         self.fast = fast
         self.fast_min_compression = fast_min_compression
+        #: True when the last fast-path segment fell back to the reference
+        #: loop because its compression was below the gate (telemetry).
+        self._gate_fallback = False
 
     # ------------------------------------------------------------------ run
 
@@ -330,10 +335,35 @@ class MulticoreMachine:
 
         Dispatches to the vectorized fast path (default) or the per-access
         reference loop; the two are pinned bit-identical.
+
+        With :data:`repro.telemetry.core.TELEMETRY` enabled, each segment
+        records a ``sim.drive`` span (path taken, accesses, accesses/s)
+        and the path/compression-gate counters; disabled (the default) the
+        only cost is the single ``enabled`` attribute check below.
         """
-        if self.fast:
-            return self._drive_fast(cores_a, addrs_a, writes_a, state)
-        return self._drive_ref(cores_a, addrs_a, writes_a, state)
+        tel = TELEMETRY
+        if not tel.enabled:
+            if self.fast:
+                return self._drive_fast(cores_a, addrs_a, writes_a, state)
+            return self._drive_ref(cores_a, addrs_a, writes_a, state)
+        n = int(len(cores_a))
+        self._gate_fallback = False
+        t0 = time.perf_counter()
+        with tel.span("sim.drive", accesses=n) as sp:
+            if self.fast:
+                seg = self._drive_fast(cores_a, addrs_a, writes_a, state)
+            else:
+                seg = self._drive_ref(cores_a, addrs_a, writes_a, state)
+        dt = time.perf_counter() - t0
+        path = ("ref" if not self.fast
+                else ("ref-gated" if self._gate_fallback else "fast"))
+        rate = round(n / dt) if dt > 0 else 0
+        sp.set(path=path, accesses_per_s=rate)
+        tel.count("sim.drive.segments")
+        tel.count("sim.drive.accesses", n)
+        tel.count(f"sim.drive.path.{path}")
+        tel.gauge("sim.drive.accesses_per_s", rate)
+        return seg
 
     def _drive_ref(self, cores_a, addrs_a, writes_a,
                    state: "_RunState") -> "_SegmentTallies":
@@ -448,6 +478,7 @@ class MulticoreMachine:
         ev = _EventTallies()
         nt = len(state.penalty)
         seg = _SegmentTallies(ev, nt)
+        self._gate_fallback = False
         cores_a = np.asarray(cores_a)
         addrs_a = np.asarray(addrs_a, dtype=np.int64)
         writes_a = np.asarray(writes_a, dtype=bool)
@@ -466,6 +497,7 @@ class MulticoreMachine:
             runs = 1 + int(np.count_nonzero(
                 (cores_a[1:p] != cores_a[:p - 1]) | (pl[1:] != pl[:-1])))
             if p < min_ratio * runs:
+                self._gate_fallback = True
                 return self._drive_ref(cores_a, addrs_a, writes_a, state)
 
         lines_a = addrs_a >> 6

@@ -49,3 +49,7 @@ class BaselineError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment id is unknown or its pipeline failed."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry request is invalid (bad span state, bad baseline...)."""

@@ -12,6 +12,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments.context import PipelineContext, default_context
+from repro.telemetry.core import TELEMETRY
 
 
 @dataclass
@@ -52,7 +53,12 @@ def experiment(exp_id: str, title: str):
 def run_experiment(
     exp_id: str, ctx: Optional[PipelineContext] = None
 ) -> ExperimentResult:
-    """Run one experiment by id (e.g. "table5", "figure2")."""
+    """Run one experiment by id (e.g. "table5", "figure2").
+
+    Each run is an ``experiment.<id>`` telemetry span, so a full
+    ``repro-experiment --all`` sweep decomposes phase by phase in the
+    exported wall-time tree.
+    """
     _ensure_loaded()
     try:
         fn = _REGISTRY[exp_id]
@@ -60,7 +66,11 @@ def run_experiment(
         raise ExperimentError(
             f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
         ) from None
-    return fn(ctx or default_context())
+    with TELEMETRY.span(f"experiment.{exp_id}",
+                        title=_TITLES.get(exp_id, "")):
+        result = fn(ctx or default_context())
+    TELEMETRY.count("experiments.runs")
+    return result
 
 
 def experiment_ids() -> List[str]:

@@ -9,6 +9,7 @@ simulation cache.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import tempfile
@@ -24,7 +25,10 @@ from repro.parallel import ExecutionEngine
 from repro.pmu.events import TABLE2_EVENTS
 from repro.suites import all_programs, get_program
 from repro.suites.base import SuiteCase, SuiteProgram
+from repro.telemetry.core import TELEMETRY
 from repro.utils.stats import majority, tally
+
+log = logging.getLogger(__name__)
 
 #: Probability that a benchmark-classification measurement was polluted by
 #: background activity.  Real collection isn't sterile: the paper saw one
@@ -37,6 +41,16 @@ def _shadow_versions() -> Tuple[str, str]:
     from repro.versioning import SHADOW_VERSION, SIM_VERSION
 
     return (SIM_VERSION, SHADOW_VERSION)
+
+
+def _valid_shadow_entry(value: object) -> bool:
+    """True for a well-formed cache entry: 4 integer oracle counts."""
+    return (
+        isinstance(value, (tuple, list))
+        and len(value) == 4
+        and all(isinstance(v, int) and not isinstance(v, bool)
+                for v in value)
+    )
 
 
 @dataclass
@@ -91,18 +105,43 @@ class PipelineContext:
         self._shadow_path = self._shadow_cache_path()
         self._shadow_dirty = 0
         if self._shadow_path is not None and self._shadow_path.exists():
-            try:
-                with open(self._shadow_path, "rb") as fh:
-                    payload = pickle.load(fh)
-                # Only a payload stamped with the current simulator + oracle
-                # versions is trusted; anything else (including the legacy
-                # bare-dict format) is recomputed rather than silently
-                # reused with stale semantics.
-                if (isinstance(payload, dict)
-                        and payload.get("versions") == _shadow_versions()):
-                    self._shadow_cache.update(payload["entries"])
-            except Exception:
-                self._shadow_cache.clear()
+            self._load_shadow()
+
+    def _load_shadow(self) -> None:
+        """Populate the shadow cache from disk; anything suspect is a miss.
+
+        A corrupted or truncated file, a stale version stamp, the legacy
+        bare-dict format, or individually mangled entries must never raise:
+        the cache is an accelerator, so the correct degradation is to log,
+        drop the bad data, and recompute.
+        """
+        try:
+            with open(self._shadow_path, "rb") as fh:
+                payload = pickle.load(fh)
+        except Exception as exc:
+            log.warning("shadow cache %s unreadable (%s: %s); recomputing",
+                        self._shadow_path, type(exc).__name__, exc)
+            TELEMETRY.count("shadow.cache.corrupt_files")
+            return
+        # Only a payload stamped with the current simulator + oracle
+        # versions is trusted; anything else (including the legacy
+        # bare-dict format) is recomputed rather than silently reused
+        # with stale semantics.
+        if not (isinstance(payload, dict)
+                and payload.get("versions") == _shadow_versions()
+                and isinstance(payload.get("entries"), dict)):
+            TELEMETRY.count("shadow.cache.invalidated")
+            return
+        dropped = 0
+        for key, value in payload["entries"].items():
+            if _valid_shadow_entry(value):
+                self._shadow_cache[key] = tuple(value)
+            else:
+                dropped += 1
+        if dropped:
+            log.warning("shadow cache %s: dropped %d mangled entries; "
+                        "they will be recomputed", self._shadow_path, dropped)
+            TELEMETRY.count("shadow.cache.dropped_entries", dropped)
 
     def _shadow_cache_path(self) -> Optional[Path]:
         if self.lab.disk_cache is None:
@@ -122,9 +161,10 @@ class PipelineContext:
     @property
     def training(self) -> TrainingData:
         if self._training is None:
-            self._training = collect_training_data(self.lab,
-                                                   engine=self.engine)
-            self.lab.flush()
+            with TELEMETRY.span("pipeline.training"):
+                self._training = collect_training_data(self.lab,
+                                                       engine=self.engine)
+                self.lab.flush()
         return self._training
 
     @property
@@ -141,18 +181,20 @@ class PipelineContext:
         if name not in self._classified:
             program = get_program(name)
             det = self.detector
-            self.engine.prefetch_simulations(
-                self.lab, [(program, case) for case in program.cases()]
-            )
-            labels: Dict[SuiteCase, str] = {}
-            seconds: Dict[SuiteCase, float] = {}
-            for case in program.cases():
-                vec = self.lab.measure(
-                    program, case, TABLE2_EVENTS,
-                    interference_p=SUITE_INTERFERENCE,
+            with TELEMETRY.span("pipeline.classify", program=name) as sp:
+                self.engine.prefetch_simulations(
+                    self.lab, [(program, case) for case in program.cases()]
                 )
-                labels[case] = det.classify_vector(vec)
-                seconds[case] = float(vec.meta.get("seconds", 0.0))
+                labels: Dict[SuiteCase, str] = {}
+                seconds: Dict[SuiteCase, float] = {}
+                for case in program.cases():
+                    vec = self.lab.measure(
+                        program, case, TABLE2_EVENTS,
+                        interference_p=SUITE_INTERFERENCE,
+                    )
+                    labels[case] = det.classify_vector(vec)
+                    seconds[case] = float(vec.meta.get("seconds", 0.0))
+                sp.set(cases=len(labels))
             self._classified[name] = ClassifiedProgram(name, labels, seconds)
             self.lab.flush()
         return self._classified[name]
@@ -176,14 +218,28 @@ class PipelineContext:
     def shadow_report(self, program: SuiteProgram, case: SuiteCase) -> ShadowReport:
         key = (program.name,) + tuple(program.cache_key(case))
         hit = self._shadow_cache.get(key)
+        if hit is not None and not _valid_shadow_entry(hit):
+            # Defense in depth: an entry mangled after load (or adopted
+            # from a hostile pickle) is a miss, not a crash.
+            log.warning("shadow cache entry for %s is mangled; recomputing",
+                        key)
+            TELEMETRY.count("shadow.cache.dropped_entries")
+            del self._shadow_cache[key]
+            hit = None
         if hit is None:
-            rep = self.shadow.run(program.trace(case), chunk=self.lab.chunk)
+            TELEMETRY.count("shadow.cache.miss")
+            with TELEMETRY.span("shadow.run", program=program.name,
+                                case=case.run_id()):
+                rep = self.shadow.run(program.trace(case),
+                                      chunk=self.lab.chunk)
             hit = (rep.fs_misses, rep.ts_misses, rep.cold_misses,
                    rep.instructions)
             self._shadow_cache[key] = hit
             self._shadow_dirty += 1
             if self._shadow_dirty >= 20:
                 self._flush_shadow()
+        else:
+            TELEMETRY.count("shadow.cache.hit")
         return ShadowReport(
             fs_misses=hit[0], ts_misses=hit[1], cold_misses=hit[2],
             instructions=hit[3], nthreads=case.threads,
@@ -205,6 +261,7 @@ class PipelineContext:
             missing.append((program.name, case))
         if self.engine.jobs <= 1 or len(missing) <= 1:
             return
+        TELEMETRY.count("shadow.prefetch.dispatched", len(missing))
         counts = self.engine.shadow_batch(missing, self.lab.chunk,
                                           self.shadow.max_threads,
                                           fast=self.shadow.fast)
@@ -231,35 +288,40 @@ class PipelineContext:
         if name not in self._verified:
             program = get_program(name)
             classified = self.classify_program(name)
-            self._prefetch_shadow(
-                [(program, case) for case in program.verification_cases()]
-            )
-            detail: List[Tuple[SuiteCase, float, str]] = []
-            actual_fs = detected_fs = 0
-            cases = program.verification_cases()
-            for case in cases:
-                rate = self.shadow_report(program, case).fs_rate
-                label = classified.labels.get(case)
-                if label is None:
-                    # Verification grids are subsets of classification grids;
-                    # classify on demand if a case is outside (defensive).
-                    vec = self.lab.measure(program, case, TABLE2_EVENTS)
-                    label = self.detector.classify_vector(vec)
-                detail.append((case, rate, label))
-                actual_fs += int(rate > 1e-3)
-                detected_fs += int(label == "bad-fs")
-            n = len(cases)
-            self._verified[name] = VerifiedProgram(
-                name=name,
-                cases=n,
-                actual_fs=actual_fs,
-                actual_no_fs=n - actual_fs,
-                detected_fs=detected_fs,
-                detected_no_fs=n - detected_fs,
-                detail=detail,
-            )
-            self._flush_shadow()
+            with TELEMETRY.span("pipeline.verify", program=name):
+                self._verify_program(name, program, classified)
         return self._verified[name]
+
+    def _verify_program(self, name: str, program: SuiteProgram,
+                        classified: ClassifiedProgram) -> None:
+        self._prefetch_shadow(
+            [(program, case) for case in program.verification_cases()]
+        )
+        detail: List[Tuple[SuiteCase, float, str]] = []
+        actual_fs = detected_fs = 0
+        cases = program.verification_cases()
+        for case in cases:
+            rate = self.shadow_report(program, case).fs_rate
+            label = classified.labels.get(case)
+            if label is None:
+                # Verification grids are subsets of classification grids;
+                # classify on demand if a case is outside (defensive).
+                vec = self.lab.measure(program, case, TABLE2_EVENTS)
+                label = self.detector.classify_vector(vec)
+            detail.append((case, rate, label))
+            actual_fs += int(rate > 1e-3)
+            detected_fs += int(label == "bad-fs")
+        n = len(cases)
+        self._verified[name] = VerifiedProgram(
+            name=name,
+            cases=n,
+            actual_fs=actual_fs,
+            actual_no_fs=n - actual_fs,
+            detected_fs=detected_fs,
+            detected_no_fs=n - detected_fs,
+            detail=detail,
+        )
+        self._flush_shadow()
 
     def verify_all(self) -> Dict[str, VerifiedProgram]:
         self._prefetch_shadow(

@@ -28,10 +28,12 @@ uses :func:`default_jobs` (``os.cpu_count()``, overridable by the CLI's
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
+from repro.telemetry.core import TELEMETRY, Telemetry
 
 __all__ = [
     "ExecutionEngine",
@@ -100,6 +102,19 @@ def _shadow_task(task: Tuple) -> Tuple[int, int, int, int]:
     return (rep.fs_misses, rep.ts_misses, rep.cold_misses, rep.instructions)
 
 
+def _timed_call(payload: Tuple) -> Tuple[float, object]:
+    """Worker wrapper: ``(fn, task) -> (exec_seconds, fn(task))``.
+
+    Used when telemetry is enabled so the parent can account per-case
+    execution time and worker utilization; ``fn`` is a module-level task
+    function, so the pair pickles by reference exactly as before.
+    """
+    fn, task = payload
+    t0 = time.perf_counter()
+    out = fn(task)
+    return time.perf_counter() - t0, out
+
+
 # -------------------------------------------------------------------- engine
 
 
@@ -120,14 +135,56 @@ class ExecutionEngine:
         return f"ExecutionEngine(jobs={self.jobs})"
 
     def map(self, fn: Callable, tasks: Iterable) -> List:
-        """``[fn(t) for t in tasks]``, possibly across processes, in order."""
+        """``[fn(t) for t in tasks]``, possibly across processes, in order.
+
+        With telemetry enabled, the dispatch is additionally timed per case
+        (workers ship execution seconds back alongside each result) and the
+        whole call is recorded as an ``engine.map`` span with queue/exec
+        statistics and worker utilization.
+        """
         tasks = list(tasks)
+        tel = TELEMETRY
+        if tel.enabled:
+            return self._map_instrumented(fn, tasks, tel)
         if self.jobs <= 1 or len(tasks) <= 1:
             return [fn(t) for t in tasks]
         workers = min(self.jobs, len(tasks))
         chunksize = max(1, len(tasks) // (workers * 4))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, tasks, chunksize=chunksize))
+
+    def _map_instrumented(self, fn: Callable, tasks: List,
+                          tel: Telemetry) -> List:
+        """``map`` with per-case timing and utilization accounting."""
+        serial = self.jobs <= 1 or len(tasks) <= 1
+        workers = 1 if serial else min(self.jobs, len(tasks))
+        chunksize = 1 if serial else max(1, len(tasks) // (workers * 4))
+        payloads = [(fn, t) for t in tasks]
+        with tel.span("engine.map", fn=getattr(fn, "__name__", str(fn)),
+                      tasks=len(tasks), workers=workers,
+                      chunksize=chunksize) as sp:
+            t0 = time.perf_counter()
+            if serial:
+                timed = [_timed_call(p) for p in payloads]
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    timed = list(pool.map(_timed_call, payloads,
+                                          chunksize=chunksize))
+            wall = time.perf_counter() - t0
+        busy = sum(s for s, _ in timed)
+        util = busy / (workers * wall) if wall > 0 else 0.0
+        if timed:
+            secs = [s for s, _ in timed]
+            sp.set(wall_s=round(wall, 6), busy_s=round(busy, 6),
+                   utilization=round(util, 4),
+                   task_min_s=round(min(secs), 6),
+                   task_max_s=round(max(secs), 6),
+                   task_mean_s=round(busy / len(secs), 6))
+        tel.count("engine.maps")
+        tel.count("engine.tasks", len(tasks))
+        tel.count("engine.task_seconds", busy)
+        tel.gauge("engine.worker_utilization", round(util, 4))
+        return [r for _, r in timed]
 
     # ------------------------------------------------------------- prefetch
 

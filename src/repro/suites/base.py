@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigError, WorkloadError
+from repro.telemetry.core import TELEMETRY
 from repro.trace.access import ProgramTrace, ThreadTrace
 from repro.utils.rng import rng_for
 
@@ -114,7 +115,15 @@ class SuiteProgram(ABC):
 
     def trace(self, case: SuiteCase) -> ProgramTrace:
         self.validate(case)
-        threads = self._generate(case)
+        tel = TELEMETRY
+        if tel.enabled:
+            with tel.span("suites.trace", program=self.name,
+                          case=case.run_id()) as sp:
+                threads = self._generate(case)
+                sp.set(accesses=int(sum(t.n_accesses for t in threads)))
+            tel.count("suites.traces")
+        else:
+            threads = self._generate(case)
         return ProgramTrace(
             list(threads),
             name=f"{self.name}[{case.run_id()}]",

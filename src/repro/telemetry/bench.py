@@ -1,0 +1,397 @@
+"""``repro-bench``: pinned benchmark replay + perf-regression gate.
+
+Replays the repository's pinned simulator benchmark grid (the same traces
+``benchmarks/test_simulator_throughput.py`` measures), with telemetry
+enabled, and emits:
+
+* a ``BENCH_simulator.json``-compatible result document (``--output``);
+* a :class:`~repro.telemetry.manifest.RunManifest` next to it
+  (``--manifest``) pinning git SHA, seeds, versions and the wall-time tree;
+* optionally a Chrome-trace of the run (``--chrome-trace``).
+
+With ``--baseline`` it compares the fresh numbers against a committed
+baseline and **fails (exit 1) on a throughput regression** beyond
+``--max-regression`` (a fraction: ``0.30`` = 30 %).  The CI ``bench`` job
+runs ``repro-bench --smoke --baseline BENCH_simulator.json
+--max-regression 0.30`` and uploads both documents as artifacts, which
+turns every PR into a tracked point on the performance trajectory instead
+of an unmeasured guess.
+
+``--smoke`` runs the drive-throughput grid only (seconds); the full mode
+adds the end-to-end ``classify_all + verify_all`` pipeline timing
+(minutes).  ``--input`` compares an existing result file without
+re-running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError, TelemetryError
+from repro.telemetry.core import TELEMETRY
+from repro.telemetry.export import export_chrome_trace
+from repro.telemetry.manifest import RunManifest
+
+__all__ = [
+    "drive_traces",
+    "measure_drive",
+    "run_bench",
+    "compare_payloads",
+    "BenchComparison",
+    "bench_main",
+]
+
+#: Fraction of throughput loss tolerated before the gate fails.
+DEFAULT_MAX_REGRESSION = 0.30
+
+#: Drive-grid seed state is fully pinned by the workload registry streams;
+#: this seed tags the manifest (the grid itself takes no free seed).
+BENCH_SEED = 0
+
+
+def drive_traces() -> Iterator[Tuple[str, Any]]:
+    """The pinned drive-throughput grid: ``(label, ProgramTrace)`` pairs.
+
+    Traces span the run-length-compression spectrum: streaming
+    (``seq_read``), padded accumulators (``psums`` good), contended
+    (``psums`` bad-fs), and a suite model (``streamcluster``).  Labels are
+    stable identifiers — the baseline comparison is keyed on them.
+    """
+    from repro.suites import get_program
+    from repro.suites.base import SuiteCase
+    from repro.workloads.base import Mode, RunConfig
+    from repro.workloads.registry import get_workload
+
+    seq = get_workload("seq_read")
+    psums = get_workload("psums")
+    yield "seq_read/good/t1", seq.trace(
+        RunConfig(threads=1, mode=Mode.GOOD, size=seq.train_sizes[-1]))
+    yield "psums/good/t4", psums.trace(
+        RunConfig(threads=4, mode=Mode.GOOD, size=psums.train_sizes[-1]))
+    yield "psums/bad-fs/t4", psums.trace(
+        RunConfig(threads=4, mode=Mode.BAD_FS, size=psums.train_sizes[-1]))
+    sc = get_program("streamcluster")
+    yield "streamcluster/simsmall", sc.trace(SuiteCase("simsmall", "-O2", 4))
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_drive(repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Reference vs fast drive throughput for every pinned trace."""
+    from repro.coherence.machine import MulticoreMachine, SCALED_WESTMERE
+
+    out: Dict[str, Dict[str, float]] = {}
+    for label, prog in drive_traces():
+        with TELEMETRY.span("bench.drive", trace=label):
+            n = int(prog.total_accesses)
+            ref = MulticoreMachine(SCALED_WESTMERE, fast=False)
+            fast = MulticoreMachine(SCALED_WESTMERE, fast=True)
+            t_ref = _best_of(lambda: ref.run(prog), repeats)
+            t_fast = _best_of(lambda: fast.run(prog), repeats)
+        out[label] = {
+            "accesses": n,
+            "ref_accesses_per_s": round(n / t_ref),
+            "fast_accesses_per_s": round(n / t_fast),
+            "speedup": round(t_ref / t_fast, 3),
+        }
+    return out
+
+
+def measure_e2e(jobs: Optional[int] = None) -> Dict[str, Any]:  # pragma: no cover - minutes-long
+    """End-to-end ``classify_all + verify_all`` wall time (full mode only)."""
+    from repro.core.detector import FalseSharingDetector
+    from repro.core.lab import Lab
+    from repro.experiments.context import PipelineContext
+    from repro.parallel import default_jobs
+
+    with TELEMETRY.span("bench.e2e"):
+        ctx = PipelineContext(lab=Lab(disk_cache=None),
+                              jobs=jobs or default_jobs())
+        det = FalseSharingDetector(ctx.lab)
+        det.fit(training=ctx.training)
+        ctx._detector = det
+        t0 = time.perf_counter()
+        ctx.classify_all()
+        ctx.verify_all()
+        seconds = time.perf_counter() - t0
+    return {
+        "scope": "classify_all + verify_all (cold caches)",
+        "parallel_fast_s": round(seconds, 2),
+    }
+
+
+def run_bench(
+    smoke: bool = True,
+    repeats: Optional[int] = None,
+    jobs: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run the pinned grid and return the BENCH-compatible payload.
+
+    Telemetry is enabled (and reset) for the duration of the run on the
+    process-wide collector, so the instrumented layers — simulator drive,
+    execution engine, shadow cache — contribute spans and counters that
+    land in the run manifest.  The collector's previous enabled state is
+    restored afterwards.
+    """
+    if repeats is None:
+        repeats = 1 if smoke else 3
+    was_enabled = TELEMETRY.enabled
+    TELEMETRY.enable(reset=True)
+    try:
+        with TELEMETRY.span("bench", mode="smoke" if smoke else "full"):
+            payload: Dict[str, Any] = {
+                "bench": "simulator-throughput",
+                "mode": "smoke" if smoke else "full",
+                "cpus": os.cpu_count(),
+                "jobs": jobs or 1,
+                "repeats": repeats,
+                "drive": measure_drive(repeats=repeats),
+                "e2e": {},
+            }
+            if not smoke:  # pragma: no cover - minutes-long
+                payload["e2e"] = measure_e2e(jobs=jobs)
+    finally:
+        if not was_enabled:
+            TELEMETRY.disable()
+    return payload
+
+
+# ------------------------------------------------------------- comparison
+
+
+@dataclass
+class ComparisonRow:
+    """One gated metric: current vs baseline."""
+
+    label: str
+    metric: str
+    current: float
+    baseline: float
+    #: current/baseline for higher-is-better metrics, baseline/current for
+    #: lower-is-better ones — so ratio < 1 always means "got worse".
+    ratio: float
+    regressed: bool
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of gating a result payload against a baseline."""
+
+    max_regression: float
+    rows: List[ComparisonRow] = field(default_factory=list)
+    #: Labels present in the baseline but absent from the current run —
+    #: treated as failures (a silently shrunken grid must not pass).
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ComparisonRow]:
+        return [r for r in self.rows if r.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def render(self) -> str:
+        from repro.utils.tables import render_table
+
+        rows = [
+            [r.label, r.metric, f"{r.current:,.0f}", f"{r.baseline:,.0f}",
+             f"{r.ratio:.3f}", "REGRESSED" if r.regressed else "ok"]
+            for r in self.rows
+        ]
+        out = render_table(
+            ["case", "metric", "current", "baseline", "ratio", "verdict"],
+            rows,
+            title=f"bench gate (max regression {self.max_regression:.0%})",
+        )
+        if self.missing:
+            out += "\nmissing from current run: " + ", ".join(self.missing)
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_regression": self.max_regression,
+            "ok": self.ok,
+            "rows": [vars(r) for r in self.rows],
+            "missing": list(self.missing),
+        }
+
+
+def compare_payloads(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> BenchComparison:
+    """Gate ``current`` against ``baseline``.
+
+    Gated metrics: per-trace fast-path throughput
+    (``drive.<label>.fast_accesses_per_s``, higher is better) and — when
+    both payloads carry it — end-to-end wall time
+    (``e2e.parallel_fast_s``, lower is better).  A metric regresses when
+    it is worse than the baseline by more than ``max_regression``
+    (fractional).  Baseline labels missing from the current run fail the
+    gate; new labels absent from the baseline are ignored (they gate once
+    the baseline is refreshed).
+    """
+    if not 0 <= max_regression < 1:
+        raise TelemetryError("max_regression must be in [0, 1)")
+    comparison = BenchComparison(max_regression=max_regression)
+    floor = 1.0 - max_regression
+    cur_drive = current.get("drive") or {}
+    for label, base_row in sorted((baseline.get("drive") or {}).items()):
+        base_v = float(base_row.get("fast_accesses_per_s", 0) or 0)
+        if base_v <= 0:
+            continue
+        cur_row = cur_drive.get(label)
+        if cur_row is None:
+            comparison.missing.append(label)
+            continue
+        cur_v = float(cur_row.get("fast_accesses_per_s", 0) or 0)
+        ratio = cur_v / base_v
+        comparison.rows.append(ComparisonRow(
+            label=label,
+            metric="fast_accesses_per_s",
+            current=cur_v,
+            baseline=base_v,
+            ratio=round(ratio, 4),
+            regressed=ratio < floor,
+        ))
+    base_e2e = float((baseline.get("e2e") or {}).get("parallel_fast_s", 0) or 0)
+    cur_e2e = float((current.get("e2e") or {}).get("parallel_fast_s", 0) or 0)
+    if base_e2e > 0 and cur_e2e > 0:
+        ratio = base_e2e / cur_e2e  # lower is better; <1 means slower now
+        comparison.rows.append(ComparisonRow(
+            label="e2e",
+            metric="parallel_fast_s",
+            current=cur_e2e,
+            baseline=base_e2e,
+            ratio=round(ratio, 4),
+            regressed=ratio < floor,
+        ))
+    return comparison
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def bench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-bench`` (exit 0 ok / 1 regression / 2 error)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Replay the pinned simulator benchmark grid, write a "
+                    "BENCH-compatible result + run manifest, and optionally "
+                    "gate against a committed baseline.",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="drive-throughput grid only (seconds, the CI "
+                             "configuration); default unless --full")
+    parser.add_argument("--full", action="store_true",
+                        help="also measure the end-to-end pipeline (minutes)")
+    parser.add_argument("--repeats", type=int, default=0,
+                        help="timing repeats per case (best-of; default: "
+                             "1 smoke, 3 full)")
+    parser.add_argument("--baseline", default="",
+                        help="baseline JSON to gate against "
+                             "(e.g. BENCH_simulator.json)")
+    parser.add_argument("--max-regression", type=float,
+                        default=DEFAULT_MAX_REGRESSION,
+                        help="tolerated fractional throughput loss "
+                             "(default: %(default)s)")
+    parser.add_argument("--input", default="",
+                        help="compare this existing result JSON instead of "
+                             "running the grid")
+    parser.add_argument("--output", default="repro-bench.json",
+                        help="where to write the result JSON")
+    parser.add_argument("--manifest", default="",
+                        help="where to write the run manifest "
+                             "(default: <output stem>-manifest.json)")
+    parser.add_argument("--chrome-trace", default="",
+                        help="also write a chrome://tracing / Perfetto "
+                             "trace of the run")
+    parser.add_argument("-j", "--jobs", type=int, default=0,
+                        help="worker processes for the full-mode pipeline")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = None
+        if args.baseline:
+            base_path = Path(args.baseline)
+            if not base_path.exists():
+                print(f"error: baseline not found: {base_path}",
+                      file=sys.stderr)
+                return 2
+            baseline = json.loads(base_path.read_text())
+
+        if args.input:
+            in_path = Path(args.input)
+            if not in_path.exists():
+                print(f"error: input not found: {in_path}", file=sys.stderr)
+                return 2
+            payload = json.loads(in_path.read_text())
+        else:
+            smoke = not args.full
+            payload = run_bench(
+                smoke=smoke,
+                repeats=args.repeats or None,
+                jobs=args.jobs or None,
+            )
+            out_path = Path(args.output)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(json.dumps(payload, indent=2) + "\n")
+            manifest_path = Path(
+                args.manifest
+                or out_path.with_name(out_path.stem + "-manifest.json")
+            )
+            manifest = RunManifest.collect(
+                config={
+                    "mode": payload["mode"],
+                    "repeats": payload["repeats"],
+                    "baseline": args.baseline,
+                    "max_regression": args.max_regression,
+                },
+                seed=BENCH_SEED,
+                telemetry=TELEMETRY,
+            )
+            manifest.save(manifest_path)
+            if args.chrome_trace:
+                export_chrome_trace(TELEMETRY, args.chrome_trace)
+            print(f"result:   {out_path}")
+            print(f"manifest: {manifest_path}")
+            for label, row in payload["drive"].items():
+                print(f"  {label:24s} fast {row['fast_accesses_per_s']:>11,} "
+                      f"acc/s  (speedup {row['speedup']:.2f}x)")
+
+        if baseline is None:
+            return 0
+        comparison = compare_payloads(payload, baseline,
+                                      max_regression=args.max_regression)
+        print(comparison.render())
+        if comparison.ok:
+            print("bench gate: PASS")
+            return 0
+        print("bench gate: FAIL "
+              f"({len(comparison.regressions)} regression(s), "
+              f"{len(comparison.missing)} missing case(s))",
+              file=sys.stderr)
+        return 1
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(bench_main())

@@ -1,0 +1,138 @@
+"""Telemetry exporters: plain JSON and Chrome-trace (Perfetto) formats.
+
+Two serializations of one :class:`~repro.telemetry.core.Telemetry`
+collector:
+
+* :func:`export_json` — a self-describing JSON document (schema
+  ``repro-telemetry/1``) with the span list (parent-indexed tree),
+  counters and gauges.  :func:`spans_from_json` reads it back, so tools
+  can post-process runs without importing this package's internals.
+* :func:`export_chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` and https://ui.perfetto.dev: one complete event
+  (``"ph": "X"``) per span with microsecond timestamps, plus counter
+  events (``"ph": "C"``) so counters plot as tracks alongside the spans.
+
+Both return the payload dict and optionally write it to a path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import TelemetryError
+from repro.telemetry.core import Telemetry
+
+__all__ = [
+    "export_json",
+    "export_chrome_trace",
+    "spans_from_json",
+    "TELEMETRY_SCHEMA",
+]
+
+#: Schema tag stamped into (and demanded of) the JSON export.
+TELEMETRY_SCHEMA = "repro-telemetry/1"
+
+
+def export_json(
+    telemetry: Telemetry, path: Union[str, Path, None] = None
+) -> Dict[str, Any]:
+    """Serialize the collector to the ``repro-telemetry/1`` document."""
+    payload: Dict[str, Any] = {"schema": TELEMETRY_SCHEMA,
+                               "epoch_unix": telemetry.epoch_unix}
+    payload.update(telemetry.snapshot())
+    if path is not None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def spans_from_json(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The span list of an :func:`export_json` payload, validated.
+
+    Raises :class:`~repro.errors.TelemetryError` on a wrong schema tag or a
+    structurally malformed span entry, so downstream tools fail loudly on
+    stale files rather than mis-plotting them.
+    """
+    if payload.get("schema") != TELEMETRY_SCHEMA:
+        raise TelemetryError(
+            f"not a {TELEMETRY_SCHEMA} document: "
+            f"schema={payload.get('schema')!r}"
+        )
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        raise TelemetryError("payload has no span list")
+    for i, span in enumerate(spans):
+        if not (isinstance(span, dict)
+                and isinstance(span.get("name"), str)
+                and isinstance(span.get("start_s"), (int, float))
+                and isinstance(span.get("seconds"), (int, float))):
+            raise TelemetryError(f"malformed span entry at index {i}")
+    return spans
+
+
+def export_chrome_trace(
+    telemetry: Telemetry, path: Union[str, Path, None] = None
+) -> Dict[str, Any]:
+    """Serialize to Chrome's Trace Event Format (JSON object form).
+
+    Load the file in ``chrome://tracing`` or Perfetto to see the run as a
+    flame chart; counters appear as counter tracks updated at the moment
+    the trace ends (they are run totals, not time series).
+    """
+    pid = os.getpid()
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": "repro"},
+    }]
+    end_us = 0.0
+    for span in telemetry.spans:
+        ts = span.start * 1e6
+        dur = max(span.seconds, 0.0) * 1e6
+        end_us = max(end_us, ts + dur)
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": ts,
+            "dur": dur,
+            "pid": pid,
+            "tid": span.thread,
+        }
+        if span.attrs:
+            event["args"] = {k: _jsonable(v) for k, v in span.attrs.items()}
+        events.append(event)
+    for name, value in sorted(telemetry.counters.items()):
+        events.append({
+            "name": name,
+            "ph": "C",
+            "ts": end_us,
+            "pid": pid,
+            "args": {"value": value},
+        })
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TELEMETRY_SCHEMA,
+            "epoch_unix": telemetry.epoch_unix,
+            "gauges": dict(telemetry.gauges),
+        },
+    }
+    if path is not None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload) + "\n")
+    return payload
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce span attributes to something JSON can carry."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

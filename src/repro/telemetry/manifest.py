@@ -1,0 +1,164 @@
+"""Per-run provenance: the :class:`RunManifest`.
+
+Röhl et al. argue that event-based measurement is only trustworthy when the
+harness that produced it is validated and reproducible.  A manifest pins
+everything needed to re-run (or distrust) a measurement: the git SHA and
+dirty bit of the tree, the seed and configuration, interpreter and numpy
+versions, simulator/oracle semantic versions, host geometry, and — when a
+:class:`~repro.telemetry.core.Telemetry` collector is supplied — the
+aggregated wall-time tree plus all counters and gauges of the run.
+
+``repro-bench`` writes one next to every result JSON, and the CI bench job
+uploads both as workflow artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.telemetry.core import Telemetry
+
+__all__ = ["RunManifest", "git_revision"]
+
+#: Manifest schema version; bump when the shape changes.
+MANIFEST_SCHEMA = "repro-manifest/1"
+
+
+def git_revision(cwd: Union[str, Path, None] = None):
+    """``(sha, dirty)`` of the working tree, or ``("unknown", False)``.
+
+    Never raises: a missing git binary, a non-repo directory, or a timeout
+    all degrade to the unknown marker so manifests can be written anywhere.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+        if sha.returncode != 0:
+            return "unknown", False
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+        dirty = bool(status.returncode == 0 and status.stdout.strip())
+        return sha.stdout.strip(), dirty
+    except (OSError, subprocess.SubprocessError):
+        return "unknown", False
+
+
+@dataclass
+class RunManifest:
+    """Reproducibility envelope for one measured run."""
+
+    schema: str = MANIFEST_SCHEMA
+    created_unix: float = 0.0
+    git_sha: str = "unknown"
+    git_dirty: bool = False
+    seed: Optional[int] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+    python: str = ""
+    numpy: str = ""
+    platform: str = ""
+    cpu_count: int = 0
+    sim_version: str = ""
+    shadow_version: str = ""
+    wall_time_tree: Dict[str, Any] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        config: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+        cwd: Union[str, Path, None] = None,
+    ) -> "RunManifest":
+        """Snapshot the current environment (and optionally a collector)."""
+        import numpy
+
+        from repro.versioning import SHADOW_VERSION, SIM_VERSION
+
+        sha, dirty = git_revision(cwd=cwd)
+        manifest = cls(
+            created_unix=time.time(),
+            git_sha=sha,
+            git_dirty=dirty,
+            seed=seed,
+            config=dict(config or {}),
+            python=sys.version.split()[0],
+            numpy=numpy.__version__,
+            platform=platform.platform(),
+            cpu_count=os.cpu_count() or 0,
+            sim_version=SIM_VERSION,
+            shadow_version=SHADOW_VERSION,
+        )
+        if telemetry is not None:
+            manifest.wall_time_tree = telemetry.aggregate_tree()
+            manifest.counters = dict(telemetry.counters)
+            manifest.gauges = dict(telemetry.gauges)
+        return manifest
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "created_unix": self.created_unix,
+            "git": {"sha": self.git_sha, "dirty": self.git_dirty},
+            "seed": self.seed,
+            "config": self.config,
+            "versions": {
+                "python": self.python,
+                "numpy": self.numpy,
+                "sim": self.sim_version,
+                "shadow": self.shadow_version,
+            },
+            "host": {"platform": self.platform, "cpu_count": self.cpu_count},
+            "wall_time_tree": self.wall_time_tree,
+            "counters": self.counters,
+            "gauges": self.gauges,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunManifest":
+        git = payload.get("git", {})
+        versions = payload.get("versions", {})
+        host = payload.get("host", {})
+        return cls(
+            schema=payload.get("schema", MANIFEST_SCHEMA),
+            created_unix=payload.get("created_unix", 0.0),
+            git_sha=git.get("sha", "unknown"),
+            git_dirty=git.get("dirty", False),
+            seed=payload.get("seed"),
+            config=dict(payload.get("config", {})),
+            python=versions.get("python", ""),
+            numpy=versions.get("numpy", ""),
+            platform=host.get("platform", ""),
+            cpu_count=host.get("cpu_count", 0),
+            sim_version=versions.get("sim", ""),
+            shadow_version=versions.get("shadow", ""),
+            wall_time_tree=dict(payload.get("wall_time_tree", {})),
+            counters=dict(payload.get("counters", {})),
+            gauges=dict(payload.get("gauges", {})),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import pickle
 
+import numpy as np
 import pytest
 
 from repro.core.lab import Lab
-from repro.experiments.context import PipelineContext
+from repro.experiments.context import PipelineContext, _valid_shadow_entry
+from repro.trace.access import ThreadTrace
+from repro.suites.base import SuiteCase, SuiteProgram
 from repro.versioning import SHADOW_VERSION, SIM_VERSION
 
 KEY = ("some_program", "simsmall", "-O2", 4)
@@ -72,3 +75,101 @@ def test_disk_cache_disabled_has_no_path(cache_dir):
     ctx = PipelineContext(lab=Lab(disk_cache=None), jobs=1)
     assert ctx._shadow_path is None
     ctx._flush_shadow()  # must be a no-op, not an error
+
+
+# ------------------------------------------------- corruption regression
+#
+# A corrupted or partially-written cache is an accelerator failure, never a
+# pipeline failure: load must log, drop the bad data, and let the oracle
+# recompute.
+
+
+def _write_payload(ctx, entries):
+    ctx._shadow_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(ctx._shadow_path, "wb") as fh:
+        pickle.dump(
+            {"versions": (SIM_VERSION, SHADOW_VERSION), "entries": entries},
+            fh,
+        )
+
+
+def test_valid_shadow_entry_predicate():
+    assert _valid_shadow_entry((1, 2, 3, 4))
+    assert _valid_shadow_entry([0, 0, 0, 0])
+    assert not _valid_shadow_entry((1, 2, 3))          # wrong arity
+    assert not _valid_shadow_entry((1, 2, 3, 4, 5))
+    assert not _valid_shadow_entry((1.0, 2, 3, 4))     # non-int count
+    assert not _valid_shadow_entry((True, 2, 3, 4))    # bool is not a count
+    assert not _valid_shadow_entry("1234")
+    assert not _valid_shadow_entry(None)
+
+
+def test_mangled_entries_dropped_valid_kept(cache_dir, caplog):
+    ctx = _ctx()
+    other = ("other_program", "simlarge", "-O0", 2)
+    mangled = {
+        ("short",): (1, 2, 3),
+        ("floats",): (1.0, 2, 3, 4),
+        ("none",): None,
+        ("text",): "11,22,33,44",
+    }
+    _write_payload(ctx, {KEY: COUNTS, other: list(COUNTS), **mangled})
+    with caplog.at_level("WARNING"):
+        fresh = _ctx()
+    # Valid entries survive (lists normalized to tuples); mangled ones are
+    # dropped — and will simply be recomputed on first use.
+    assert fresh._shadow_cache == {KEY: COUNTS, other: COUNTS}
+    assert "dropped 4 mangled entries" in caplog.text
+
+
+def test_truncated_cache_file_is_a_miss(cache_dir, caplog):
+    ctx = _ctx()
+    ctx._shadow_cache[KEY] = COUNTS
+    ctx._flush_shadow()
+    data = ctx._shadow_path.read_bytes()
+    ctx._shadow_path.write_bytes(data[: len(data) // 2])
+    with caplog.at_level("WARNING"):
+        fresh = _ctx()
+    assert fresh._shadow_cache == {}
+    assert "unreadable" in caplog.text
+
+
+def test_non_mapping_entries_discarded(cache_dir):
+    ctx = _ctx()
+    ctx._shadow_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(ctx._shadow_path, "wb") as fh:
+        pickle.dump(
+            {"versions": (SIM_VERSION, SHADOW_VERSION), "entries": [KEY]},
+            fh,
+        )
+    assert _ctx()._shadow_cache == {}
+
+
+class _StubProgram(SuiteProgram):
+    name = "zz-stub-shadow"
+    inputs = ("x",)
+    opts = ("-O2",)
+    threads = (2,)
+
+    def _generate(self, case):
+        addrs = np.arange(64, dtype=np.int64) * 8
+        return [ThreadTrace(addrs.copy(), np.zeros(64, dtype=bool))
+                for _ in range(case.threads)]
+
+
+def test_read_time_mangled_entry_recomputed_not_raised(cache_dir, caplog):
+    ctx = PipelineContext(lab=Lab(disk_cache=None), jobs=1)
+    prog = _StubProgram()
+    case = SuiteCase("x", "-O2", 2)
+    key = (prog.name,) + tuple(prog.cache_key(case))
+    ctx._shadow_cache[key] = ("oops", None)  # mangled after load
+    with caplog.at_level("WARNING"):
+        rep = ctx.shadow_report(prog, case)
+    assert "mangled" in caplog.text
+    assert isinstance(rep.instructions, int) and rep.instructions > 0
+    # The recomputed entry replaced the mangled one.
+    assert _valid_shadow_entry(ctx._shadow_cache[key])
+    # A second read is now a clean hit with identical counts.
+    rep2 = ctx.shadow_report(prog, case)
+    assert (rep2.fs_misses, rep2.ts_misses, rep2.cold_misses) == (
+        rep.fs_misses, rep.ts_misses, rep.cold_misses)

@@ -1,0 +1,217 @@
+"""``repro-bench``: baseline comparison logic and the CLI gate."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import bench as bench_mod
+from repro.telemetry.bench import bench_main, compare_payloads
+from repro.telemetry.core import TELEMETRY
+from repro.trace.access import ProgramTrace, ThreadTrace
+
+
+@pytest.fixture(autouse=True)
+def _global_telemetry_off():
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+def _payload(fast=1_000_000, e2e=None):
+    doc = {
+        "bench": "simulator-throughput",
+        "drive": {
+            "psums/good/t4": {
+                "accesses": 96_000,
+                "ref_accesses_per_s": fast / 2,
+                "fast_accesses_per_s": fast,
+                "speedup": 2.0,
+            },
+        },
+        "e2e": {},
+    }
+    if e2e is not None:
+        doc["e2e"] = {"parallel_fast_s": e2e}
+    return doc
+
+
+# -------------------------------------------------------- compare_payloads
+
+
+def test_compare_within_tolerance_passes():
+    cmp = compare_payloads(_payload(fast=800_000), _payload(fast=1_000_000),
+                           max_regression=0.30)
+    assert cmp.ok
+    assert len(cmp.rows) == 1
+    row = cmp.rows[0]
+    assert row.metric == "fast_accesses_per_s"
+    assert row.ratio == pytest.approx(0.8)
+    assert not row.regressed
+    assert "ok" in cmp.render()
+
+
+def test_compare_flags_throughput_regression():
+    cmp = compare_payloads(_payload(fast=600_000), _payload(fast=1_000_000),
+                           max_regression=0.30)
+    assert not cmp.ok
+    assert [r.label for r in cmp.regressions] == ["psums/good/t4"]
+    assert "REGRESSED" in cmp.render()
+    d = cmp.to_dict()
+    assert d["ok"] is False and d["rows"][0]["regressed"] is True
+
+
+def test_compare_improvement_always_passes():
+    cmp = compare_payloads(_payload(fast=5_000_000), _payload(fast=1_000_000))
+    assert cmp.ok and cmp.rows[0].ratio == pytest.approx(5.0)
+
+
+def test_compare_missing_baseline_case_fails_gate():
+    current = _payload()
+    del current["drive"]["psums/good/t4"]
+    current["drive"]["something/else"] = {"fast_accesses_per_s": 1}
+    cmp = compare_payloads(current, _payload())
+    assert cmp.missing == ["psums/good/t4"]
+    assert not cmp.ok
+    assert "missing from current run" in cmp.render()
+
+
+def test_compare_new_case_without_baseline_is_ignored():
+    current = _payload()
+    current["drive"]["brand/new"] = {"fast_accesses_per_s": 1}
+    assert compare_payloads(current, _payload()).ok
+
+
+def test_compare_e2e_is_lower_is_better():
+    # 10s -> 12s is a 17% slowdown: fine at 30%, fatal at 10%.
+    ok = compare_payloads(_payload(e2e=12.0), _payload(e2e=10.0),
+                          max_regression=0.30)
+    assert ok.ok
+    bad = compare_payloads(_payload(e2e=12.0), _payload(e2e=10.0),
+                           max_regression=0.10)
+    assert [r.label for r in bad.regressions] == ["e2e"]
+    assert bad.rows[-1].ratio == pytest.approx(10.0 / 12.0, abs=1e-3)
+
+
+def test_compare_rejects_bad_threshold():
+    with pytest.raises(TelemetryError):
+        compare_payloads(_payload(), _payload(), max_regression=1.5)
+    with pytest.raises(TelemetryError):
+        compare_payloads(_payload(), _payload(), max_regression=-0.1)
+
+
+def test_compare_accepts_historical_baseline_shape():
+    # The committed BENCH_simulator.json predates the "mode"/"repeats"
+    # keys; the gate must accept it as-is so the first CI run can use it.
+    legacy = {"drive": {"psums/good/t4": {"fast_accesses_per_s": 1_000_000}}}
+    assert compare_payloads(_payload(fast=900_000), legacy).ok
+
+
+# --------------------------------------------------------- CLI: --input
+
+
+def _write(path, doc):
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_cli_input_mode_pass_exit_0(tmp_path, capsys):
+    cur = _write(tmp_path / "cur.json", _payload(fast=900_000))
+    base = _write(tmp_path / "base.json", _payload(fast=1_000_000))
+    assert bench_main(["--input", cur, "--baseline", base]) == 0
+    assert "bench gate: PASS" in capsys.readouterr().out
+
+
+def test_cli_input_mode_regression_exit_1(tmp_path, capsys):
+    cur = _write(tmp_path / "cur.json", _payload(fast=500_000))
+    base = _write(tmp_path / "base.json", _payload(fast=1_000_000))
+    assert bench_main(["--input", cur, "--baseline", base]) == 1
+    err = capsys.readouterr().err
+    assert "bench gate: FAIL" in err and "1 regression" in err
+
+
+def test_cli_missing_baseline_exit_2(tmp_path, capsys):
+    cur = _write(tmp_path / "cur.json", _payload())
+    rc = bench_main(["--input", cur, "--baseline",
+                     str(tmp_path / "nope.json")])
+    assert rc == 2
+    assert "baseline not found" in capsys.readouterr().err
+
+
+def test_cli_missing_input_exit_2(tmp_path, capsys):
+    rc = bench_main(["--input", str(tmp_path / "nope.json")])
+    assert rc == 2
+    assert "input not found" in capsys.readouterr().err
+
+
+def test_cli_corrupt_baseline_exit_2(tmp_path, capsys):
+    cur = _write(tmp_path / "cur.json", _payload())
+    base = tmp_path / "base.json"
+    base.write_text("{not json")
+    assert bench_main(["--input", cur, "--baseline", str(base)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_input_without_baseline_exit_0(tmp_path):
+    cur = _write(tmp_path / "cur.json", _payload())
+    assert bench_main(["--input", cur]) == 0
+
+
+# ------------------------------------------------------- CLI: run mode
+
+
+def _tiny_traces():
+    """Stand-in for the pinned grid: milliseconds instead of seconds."""
+    addrs = np.repeat(np.arange(8, dtype=np.int64) * 64, 250)
+    writes = np.zeros(addrs.size, dtype=bool)
+    yield "tiny/t1", ProgramTrace([ThreadTrace(addrs, writes)], name="tiny")
+
+
+def test_cli_run_mode_writes_result_and_manifest(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(bench_mod, "drive_traces", _tiny_traces)
+    out = tmp_path / "bench" / "result.json"
+    trace = tmp_path / "trace.json"
+    rc = bench_main(["--smoke", "--output", str(out),
+                     "--chrome-trace", str(trace)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    # BENCH_simulator.json-compatible shape.
+    assert payload["bench"] == "simulator-throughput"
+    assert payload["mode"] == "smoke"
+    row = payload["drive"]["tiny/t1"]
+    assert row["accesses"] == 2_000
+    assert row["fast_accesses_per_s"] > 0 and row["ref_accesses_per_s"] > 0
+    manifest = json.loads(
+        (out.parent / "result-manifest.json").read_text())
+    assert manifest["schema"].startswith("repro-manifest/")
+    assert manifest["config"]["mode"] == "smoke"
+    assert "bench" in manifest["wall_time_tree"]
+    chrome = json.loads(trace.read_text())
+    assert any(e.get("name") == "bench.drive"
+               for e in chrome["traceEvents"])
+    assert "result:" in capsys.readouterr().out
+    # The run restored the global collector to its disabled default.
+    assert not TELEMETRY.enabled
+
+
+def test_cli_run_mode_gates_against_fresh_baseline(tmp_path, monkeypatch):
+    monkeypatch.setattr(bench_mod, "drive_traces", _tiny_traces)
+    out1 = tmp_path / "one.json"
+    assert bench_main(["--smoke", "--output", str(out1)]) == 0
+    # Second run gated against the first: same machine, same tiny trace —
+    # must pass at the default 30% tolerance.
+    out2 = tmp_path / "two.json"
+    assert bench_main(["--smoke", "--output", str(out2),
+                       "--baseline", str(out1)]) == 0
+    # Inflate the baseline 10x: the second run must now fail the gate.
+    doc = json.loads(out1.read_text())
+    for row in doc["drive"].values():
+        row["fast_accesses_per_s"] *= 10
+    out1.write_text(json.dumps(doc))
+    assert bench_main(["--smoke", "--output", str(out2),
+                       "--baseline", str(out1)]) == 1

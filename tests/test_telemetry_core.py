@@ -1,0 +1,190 @@
+"""Telemetry core: spans, counters, gauges, and the disabled no-op."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.core import TELEMETRY, Telemetry, get_telemetry
+from repro.telemetry.core import _NOOP_SPAN
+
+
+@pytest.fixture
+def tel():
+    return Telemetry(enabled=True)
+
+
+# ----------------------------------------------------------------- spans
+
+
+def test_span_records_interval(tel):
+    with tel.span("work", kind="unit"):
+        pass
+    assert len(tel.spans) == 1
+    span = tel.spans[0]
+    assert span.name == "work"
+    assert span.attrs == {"kind": "unit"}
+    assert span.seconds >= 0.0
+    assert span.parent == -1
+
+
+def test_span_nesting_builds_tree(tel):
+    with tel.span("outer"):
+        with tel.span("mid"):
+            with tel.span("inner"):
+                pass
+        with tel.span("mid2"):
+            pass
+    names = [s.name for s in tel.spans]
+    parents = [s.parent for s in tel.spans]
+    assert names == ["outer", "mid", "inner", "mid2"]
+    assert parents == [-1, 0, 1, 0]
+    tree = tel.span_tree()
+    assert len(tree) == 1
+    assert [c["name"] for c in tree[0]["children"]] == ["mid", "mid2"]
+    assert tree[0]["children"][0]["children"][0]["name"] == "inner"
+
+
+def test_span_exception_safety(tel):
+    with pytest.raises(ValueError):
+        with tel.span("outer"):
+            with tel.span("boom"):
+                raise ValueError("x")
+    # Both spans closed, error recorded, and the stack is clean again.
+    assert [s.name for s in tel.spans] == ["outer", "boom"]
+    assert tel.spans[1].attrs["error"] == "ValueError"
+    assert tel.spans[0].attrs["error"] == "ValueError"
+    with tel.span("after"):
+        pass
+    assert tel.spans[-1].parent == -1
+
+
+def test_span_set_attaches_attributes(tel):
+    with tel.span("s", a=1) as sp:
+        sp.set(b=2)
+    sp.set(c=3)  # post-exit attachment lands on the record too
+    assert tel.spans[0].attrs == {"a": 1, "b": 2, "c": 3}
+
+
+def test_span_reenter_rejected(tel):
+    span = tel.span("s")
+    with span:
+        with pytest.raises(TelemetryError):
+            span.__enter__()
+
+
+def test_timed_decorator(tel):
+    @tel.timed()
+    def helper():
+        return 7
+
+    @tel.timed("custom.name")
+    def other():
+        return 8
+
+    assert helper() == 7 and other() == 8
+    names = [s.name for s in tel.spans]
+    assert names[0].endswith("helper")
+    assert names[1] == "custom.name"
+
+
+def test_span_seconds_aggregates_by_name(tel):
+    for _ in range(3):
+        with tel.span("x"):
+            pass
+    assert tel.span_seconds("x") == pytest.approx(
+        sum(s.seconds for s in tel.spans))
+    assert tel.span_seconds("missing") == 0.0
+
+
+def test_aggregate_tree_groups_by_name(tel):
+    for _ in range(2):
+        with tel.span("phase"):
+            with tel.span("step"):
+                pass
+    agg = tel.aggregate_tree()
+    assert agg["phase"]["count"] == 2
+    assert agg["phase"]["children"]["step"]["count"] == 2
+
+
+def test_spans_record_thread_identity(tel):
+    def work():
+        with tel.span("in-thread"):
+            pass
+
+    t = threading.Thread(target=work)
+    t.start()
+    t.join()
+    with tel.span("in-main"):
+        pass
+    by_name = {s.name: s for s in tel.spans}
+    assert by_name["in-thread"].thread != by_name["in-main"].thread
+    # Spans from another thread never nest under this thread's stack.
+    assert by_name["in-thread"].parent == -1
+
+
+# -------------------------------------------------- counters and gauges
+
+
+def test_counters_accumulate_and_gauges_overwrite(tel):
+    tel.count("n")
+    tel.count("n", 4)
+    tel.gauge("g", 1.0)
+    tel.gauge("g", 2.5)
+    assert tel.counters == {"n": 5}
+    assert tel.gauges == {"g": 2.5}
+
+
+def test_reset_clears_everything(tel):
+    with tel.span("s"):
+        tel.count("c")
+        tel.gauge("g", 1)
+    tel.reset()
+    assert tel.spans == [] and tel.counters == {} and tel.gauges == {}
+
+
+# ------------------------------------------------------ disabled no-op
+
+
+def test_disabled_span_is_shared_noop_singleton():
+    tel = Telemetry(enabled=False)
+    assert tel.span("a") is _NOOP_SPAN
+    assert tel.span("b", attr=1) is _NOOP_SPAN
+    with tel.span("c") as sp:
+        sp.set(x=1)  # must not raise, must not record
+    tel.count("c")
+    tel.gauge("g", 1)
+    assert tel.spans == [] and tel.counters == {} and tel.gauges == {}
+
+
+def test_disabled_decorator_passthrough():
+    tel = Telemetry(enabled=False)
+
+    @tel.timed()
+    def f(x):
+        return x * 2
+
+    assert f(21) == 42
+    assert tel.spans == []
+
+
+def test_global_singleton_disabled_by_default():
+    assert get_telemetry() is TELEMETRY
+    assert TELEMETRY.enabled is False
+
+
+def test_enable_disable_cycle():
+    tel = Telemetry()
+    tel.enable()
+    with tel.span("s"):
+        pass
+    tel.disable()
+    with tel.span("gone"):
+        pass
+    assert [s.name for s in tel.spans] == ["s"]  # data kept, hooks off
+    tel.enable(reset=False)
+    assert [s.name for s in tel.spans] == ["s"]
+    tel.enable(reset=True)
+    assert tel.spans == []

@@ -1,0 +1,151 @@
+"""Exporter round-trips (JSON + Chrome-trace) and the run manifest."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.core import Telemetry
+from repro.telemetry.export import (
+    TELEMETRY_SCHEMA,
+    export_chrome_trace,
+    export_json,
+    spans_from_json,
+)
+from repro.telemetry.manifest import RunManifest, git_revision
+
+
+@pytest.fixture
+def tel():
+    t = Telemetry(enabled=True)
+    with t.span("pipeline", stage="demo"):
+        with t.span("simulate"):
+            pass
+        with t.span("classify"):
+            pass
+    t.count("cases", 3)
+    t.gauge("utilization", 0.5)
+    return t
+
+
+# ------------------------------------------------------------ JSON export
+
+
+def test_json_export_roundtrip(tel, tmp_path):
+    path = tmp_path / "telemetry.json"
+    payload = export_json(tel, path)
+    # File contents equal the returned payload.
+    on_disk = json.loads(path.read_text())
+    assert on_disk == json.loads(json.dumps(payload))
+    spans = spans_from_json(on_disk)
+    assert [s["name"] for s in spans] == ["pipeline", "simulate", "classify"]
+    assert on_disk["counters"] == {"cases": 3}
+    assert on_disk["gauges"] == {"utilization": 0.5}
+    # Parent indices reconstruct the original tree.
+    assert [s["parent"] for s in spans] == [-1, 0, 0]
+    # Durations survive serialization exactly.
+    for rec, span in zip(spans, tel.spans):
+        assert rec["seconds"] == pytest.approx(span.seconds)
+
+
+def test_spans_from_json_rejects_wrong_schema(tel):
+    payload = export_json(tel)
+    payload["schema"] = "something-else/9"
+    with pytest.raises(TelemetryError):
+        spans_from_json(payload)
+
+
+def test_spans_from_json_rejects_malformed_span(tel):
+    payload = export_json(tel)
+    payload["spans"][1] = {"name": 42}
+    with pytest.raises(TelemetryError):
+        spans_from_json(payload)
+    with pytest.raises(TelemetryError):
+        spans_from_json({"schema": TELEMETRY_SCHEMA, "spans": "nope"})
+
+
+# ----------------------------------------------------------- Chrome trace
+
+
+def test_chrome_trace_schema(tel, tmp_path):
+    path = tmp_path / "trace.json"
+    payload = export_chrome_trace(tel, path)
+    assert json.loads(path.read_text()) == json.loads(json.dumps(payload))
+    events = payload["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    counters = [e for e in events if e["ph"] == "C"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert [e["name"] for e in complete] == ["pipeline", "simulate",
+                                            "classify"]
+    assert meta and meta[0]["args"]["name"] == "repro"
+    # Timestamps are microseconds; children sit inside the parent interval.
+    parent, child = complete[0], complete[1]
+    for e in complete:
+        assert e["ts"] >= 0 and e["dur"] >= 0
+        assert e["pid"] == complete[0]["pid"]
+        assert "tid" in e
+    assert parent["ts"] <= child["ts"]
+    assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1e-3
+    # Span seconds -> microseconds.
+    assert parent["dur"] == pytest.approx(tel.spans[0].seconds * 1e6)
+    assert counters and counters[0] == {
+        "name": "cases", "ph": "C", "ts": pytest.approx(counters[0]["ts"]),
+        "pid": parent["pid"], "args": {"value": 3},
+    }
+    assert payload["otherData"]["gauges"] == {"utilization": 0.5}
+
+
+def test_chrome_trace_attrs_coerced_to_json(tmp_path):
+    tel = Telemetry(enabled=True)
+    with tel.span("s", num=1, text="x", obj=object()):
+        pass
+    payload = export_chrome_trace(tel)
+    args = payload["traceEvents"][1]["args"]
+    assert args["num"] == 1 and args["text"] == "x"
+    assert isinstance(args["obj"], str)
+    json.dumps(payload)  # must be serializable end to end
+
+
+# -------------------------------------------------------------- manifest
+
+
+def test_manifest_collects_environment(tel):
+    manifest = RunManifest.collect(config={"mode": "smoke"}, seed=7,
+                                   telemetry=tel)
+    assert manifest.seed == 7
+    assert manifest.config == {"mode": "smoke"}
+    assert manifest.python and manifest.numpy
+    assert manifest.sim_version and manifest.shadow_version
+    assert manifest.counters == {"cases": 3}
+    tree = manifest.wall_time_tree
+    assert set(tree) == {"pipeline"}
+    assert set(tree["pipeline"]["children"]) == {"simulate", "classify"}
+
+
+def test_manifest_git_sha_matches_repo():
+    sha, _dirty = git_revision()
+    expected = subprocess.run(["git", "rev-parse", "HEAD"],
+                              capture_output=True, text=True)
+    if expected.returncode == 0:
+        assert sha == expected.stdout.strip()
+        assert len(sha) == 40
+    else:  # pragma: no cover - sandbox without git
+        assert sha == "unknown"
+
+
+def test_git_revision_degrades_outside_repo(tmp_path):
+    sha, dirty = git_revision(cwd=tmp_path)
+    assert sha == "unknown" and dirty is False
+
+
+def test_manifest_save_load_roundtrip(tel, tmp_path):
+    manifest = RunManifest.collect(config={"k": "v"}, seed=1, telemetry=tel)
+    path = manifest.save(tmp_path / "sub" / "manifest.json")
+    loaded = RunManifest.load(path)
+    assert loaded.to_dict() == manifest.to_dict()
+    raw = json.loads(path.read_text())
+    assert raw["schema"] == manifest.schema
+    assert raw["versions"]["sim"] == manifest.sim_version
