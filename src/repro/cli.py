@@ -13,8 +13,11 @@
 * ``repro-bench`` — replay the pinned simulator benchmark grid, write a
   BENCH-compatible result + run manifest, and gate against a committed
   baseline (the CI perf-regression job);
-* ``repro <perf|train|detect|analyze|bench|experiment> ...`` — umbrella
-  command dispatching to the above.
+* ``repro-serve`` — online detection service: JSON-lines TCP server with
+  batched compiled-tree inference, plus its client, load generator and
+  latency benchmark (``BENCH_serve.json``);
+* ``repro <perf|train|detect|analyze|bench|serve|experiment> ...`` —
+  umbrella command dispatching to the above.
 """
 
 from __future__ import annotations
@@ -335,12 +338,20 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
     return _bench_main(argv)
 
 
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Online detection service CLI (``repro-serve``)."""
+    from repro.serve.cli import serve_main as _serve_main
+
+    return _serve_main(argv)
+
+
 _SUBCOMMANDS = {
     "perf": perf_main,
     "train": train_main,
     "detect": detect_main,
     "analyze": analyze_main,
     "bench": bench_main,
+    "serve": serve_main,
 }
 
 

@@ -53,3 +53,7 @@ class ExperimentError(ReproError):
 
 class TelemetryError(ReproError):
     """A telemetry request is invalid (bad span state, bad baseline...)."""
+
+
+class ServeError(ReproError):
+    """The online detection service hit a protocol or lifecycle error."""

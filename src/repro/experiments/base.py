@@ -91,5 +91,6 @@ def _ensure_loaded() -> None:
         exp_detection,
         exp_future,
         exp_perf,
+        exp_serving,
         exp_training,
     )

@@ -65,6 +65,8 @@ class C45Classifier:
         self.root_: Optional[TreeNode] = None
         self.classes_: Optional[list] = None
         self.feature_names_: Optional[list] = None
+        #: Lazily compiled flat-array form of ``root_`` (see ``compiled``).
+        self._compiled_cache: Optional[tuple] = None
         # z for the one-sided upper confidence bound used in pruning.
         self._z = float(norm.ppf(1.0 - cf))
 
@@ -229,13 +231,35 @@ class C45Classifier:
 
     # -------------------------------------------------------------- predict
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
+    @property
+    def compiled(self):
+        """The fitted tree compiled to flat arrays (cached per ``root_``).
+
+        The cache keys on the identity of ``root_``, which ``fit`` (and a
+        persistence load) replaces wholesale; mutate a fitted tree in place
+        and you must clear ``_compiled_cache`` yourself.
+        """
         if self.root_ is None:
             raise NotFittedError("C45Classifier has not been fitted")
+        cache = self._compiled_cache
+        if cache is None or cache[0] is not self.root_:
+            from repro.serve.inference import CompiledTree
+
+            cache = (self.root_, CompiledTree.from_classifier(self))
+            self._compiled_cache = cache
+        return cache[1]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Labels for a batch, via the compiled vectorized walker.
+
+        Bit-identical to walking ``root_`` recursively per row (the
+        compiled path performs the very same ``x[f] <= t`` comparisons);
+        the flat-array form classifies thousands of rows per call.
+        """
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X[None, :]
-        return np.array([self.root_.predict_one(row) for row in X], dtype=object)
+        return self.compiled.predict_batch(X)
 
     def predict_one(self, x: np.ndarray) -> str:
         return str(self.predict(np.asarray(x))[0])

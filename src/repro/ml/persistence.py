@@ -102,6 +102,7 @@ def classifier_from_dict(d: Dict) -> C45Classifier:
 def save_classifier(clf: C45Classifier, path: Union[str, Path]) -> None:
     """Write a fitted classifier to a JSON file."""
     path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(classifier_to_dict(clf), indent=2))
 
 

@@ -41,6 +41,20 @@ class TreeNode:
             node = node.left if x[node.feature] <= node.threshold else node.right
         return node.label
 
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Labels for a whole batch, via the compiled flat-array walker.
+
+        Routes through :class:`repro.serve.inference.CompiledTree`, so a
+        batch of thousands of rows costs a handful of vectorized passes
+        instead of a Python loop; the output is bit-identical to calling
+        :meth:`predict_one` per row.  The compilation is rebuilt per call
+        (it is O(n_nodes), trivial next to any real batch) so in-place
+        edits of the tree are always honoured.
+        """
+        from repro.serve.inference import CompiledTree
+
+        return CompiledTree.from_tree(self).predict_batch(X)
+
     # ------------------------------------------------------------ metrics
 
     def n_leaves(self) -> int:
@@ -114,6 +128,12 @@ class TreeNode:
             return f"{indent}: {self.label} ({self.n}/{self.errors})"
         walk(self, indent)
         return "\n".join(lines)
+
+
+#: Public alias: a bare tree *is* the model (the learner's ``root_``); the
+#: name exists so API parity with ``C45Classifier`` reads naturally
+#: (``TreeModel.predict`` / ``TreeModel.predict_one``).
+TreeModel = TreeNode
 
 
 def require_fitted(model) -> None:

@@ -15,7 +15,7 @@ the paper leans on:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -98,6 +98,76 @@ class PMUSampler:
         overhead = self.overhead_fraction(events)
         return EventVector(values, overhead=overhead,
                            meta={"run": result.name, **result.meta})
+
+    def measure_stream(
+        self,
+        result: SimulationResult,
+        events: Sequence[Event],
+        windows: int = 10,
+        run_id: Optional[str] = None,
+        source: Optional[str] = None,
+        t0: float = 0.0,
+    ) -> Iterator[EventVector]:
+        """Read ``events`` as ``windows`` periodic samples over the run.
+
+        The online-monitoring view of :meth:`measure`: instead of one
+        whole-run reading, the run's counts are split across ``windows``
+        equal time slices, each read through the same rotation-group and
+        noise model (every window pays its own multiplexing extrapolation
+        error, as a real periodic reader would).  Each yielded
+        :class:`EventVector` carries ``meta['t']`` (the sample time, at the
+        window's end), ``meta['t_start']``/``meta['t_end']``,
+        ``meta['window']`` and ``meta['source']`` — exactly the shape
+        :class:`repro.serve.stream.WindowAggregator` ingests.
+
+        With ``noisy=False`` the split is exact, so the window counts sum
+        to :meth:`measure`'s noiseless reading.  The noise draw is keyed on
+        (seed, run, run_id, window), so streams are reproducible and two
+        ``run_id``\\ s give independent streams of the same run.
+        """
+        if windows < 1:
+            raise PMUError("need at least one window")
+        if not events:
+            raise PMUError("no events requested")
+        names = [e.name for e in events]
+        if len(set(names)) != len(names):
+            raise PMUError("duplicate events in request")
+        mux_groups = self._rotation_groups(events)
+        overhead = self.overhead_fraction(events)
+        seconds = max(float(getattr(result, "seconds", 0.0)), 0.0)
+        dt = (seconds / windows) if seconds > 0 else 1.0 / windows
+        src = source if source is not None else result.name
+        loads = result.counts.get("MEM_INST_RETIRED.LOADS", 0.0)
+        instr = max(result.counts.get("INST_RETIRED.ANY", 0.0), 1.0)
+        for w in range(windows):
+            rng = rng_for("pmu-stream", self.seed, result.name,
+                          run_id or "", w)
+            values = {}
+            for event, group in zip(events, mux_groups):
+                true = result.counts.get(event.raw_key, 0.0)
+                if event.erratic:
+                    true = 0.001 * true + 1.5e-3 * loads
+                true /= windows
+                if self.noisy:
+                    sigma = event.noise + (_MUX_NOISE * group if group else 0.0)
+                    factor = float(np.exp(rng.normal(0.0, sigma)))
+                    floor = rng.uniform(0.0, 2e-7) * instr / windows
+                    values[event.name] = true * factor + floor
+                else:
+                    values[event.name] = true
+            yield EventVector(
+                values,
+                overhead=overhead,
+                meta={
+                    "run": result.name,
+                    "source": src,
+                    "window": w,
+                    "t_start": t0 + w * dt,
+                    "t_end": t0 + (w + 1) * dt,
+                    "t": t0 + (w + 1) * dt,
+                    **result.meta,
+                },
+            )
 
     def overhead_fraction(self, events: Sequence[Event]) -> float:
         """Fraction of run time added by counting these events."""

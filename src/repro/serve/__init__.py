@@ -1,0 +1,42 @@
+"""Online false-sharing detection service (``repro.serve``).
+
+The paper's pitch is detection *without instrumentation* from PMU counts —
+exactly what makes the method deployable as an always-on monitor rather
+than a batch experiment.  This package turns the trained J48/C4.5 tree
+into that monitor:
+
+* :mod:`repro.serve.inference` — the fitted tree compiled into flat numpy
+  arrays with a vectorized ``predict_batch`` that classifies thousands of
+  normalized event vectors per call, bit-identical to the recursive
+  :meth:`repro.ml.c45.C45Classifier.predict`;
+* :mod:`repro.serve.stream` — sliding/tumbling-window aggregation of raw
+  PMU samples into instruction-normalized feature vectors, keyed per
+  source (pid/core);
+* :mod:`repro.serve.server` — an asyncio JSON-lines TCP server with
+  micro-batching, bounded queues, explicit backpressure (typed
+  ``overloaded`` shed responses), graceful drain and hot model reload;
+* :mod:`repro.serve.client` — a small synchronous client library with a
+  pipelined bulk mode;
+* :mod:`repro.serve.loadgen` — a deterministic load generator replaying
+  suite-derived event streams, reporting p50/p95/p99 latency, throughput
+  and shed counts (``BENCH_serve.json``).
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.inference import CompiledTree, as_compiled
+from repro.serve.loadgen import LoadGenResult, generate_stream, run_loadgen
+from repro.serve.server import DetectionServer, ServerThread
+from repro.serve.stream import StreamWindow, WindowAggregator
+
+__all__ = [
+    "CompiledTree",
+    "as_compiled",
+    "DetectionServer",
+    "ServerThread",
+    "ServeClient",
+    "StreamWindow",
+    "WindowAggregator",
+    "LoadGenResult",
+    "generate_stream",
+    "run_loadgen",
+]

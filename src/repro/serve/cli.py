@@ -1,0 +1,284 @@
+"""``repro-serve``: run, exercise and benchmark the detection service.
+
+* ``repro-serve start`` — run the JSON-lines TCP server in the foreground
+  (loads ``models/detector.json`` when present, otherwise trains);
+* ``repro-serve classify WORKLOAD [options]`` — measure one run on the
+  simulated testbed and classify it through a running server (the
+  end-to-end online workflow);
+* ``repro-serve bench`` — start an in-process server, replay the
+  deterministic load-generator stream, and write ``BENCH_serve.json``
+  (throughput, p50/p95/p99 latency, shed count); non-zero exit when shed
+  exceeds ``--max-shed`` or throughput falls below ``--min-rps``;
+* ``repro-serve ping`` — liveness probe against a running server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+
+#: Where the train-once / serve-anywhere model artifact lives.
+DEFAULT_MODEL_PATH = Path("models/detector.json")
+
+
+def _load_or_train_model(path_arg: str, jobs: Optional[int] = None):
+    """A fitted classifier: from ``--model``, the committed artifact, or
+    a fresh training run (slow; printed loudly)."""
+    from repro.ml.persistence import load_classifier
+
+    if path_arg:
+        return load_classifier(path_arg)
+    if DEFAULT_MODEL_PATH.exists():
+        return load_classifier(DEFAULT_MODEL_PATH)
+    print("no model file found; collecting training data and fitting "
+          "(use --model or commit models/detector.json to skip this)",
+          file=sys.stderr)
+    from repro.core.detector import FalseSharingDetector
+    from repro.core.lab import Lab
+
+    lab = Lab()
+    det = FalseSharingDetector(lab).fit(jobs=jobs)
+    lab.flush()
+    return det.classifier
+
+
+def _add_server_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7130,
+                   help="TCP port (0 = ephemeral; default: %(default)s)")
+    p.add_argument("--model", default="",
+                   help=f"model JSON (default: {DEFAULT_MODEL_PATH} if "
+                        "present, else train)")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="micro-batch size cap (default: %(default)s)")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="max milliseconds a batch waits for stragglers "
+                        "(default: %(default)s)")
+    p.add_argument("--backlog", type=int, default=4096,
+                   help="bounded request-queue size; overflow is shed "
+                        "with an 'overloaded' response "
+                        "(default: %(default)s)")
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Online false-sharing detection service: batched "
+                    "compiled-tree inference over a JSON-lines TCP "
+                    "protocol.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    start = sub.add_parser("start", help="run the server in the foreground")
+    _add_server_options(start)
+
+    classify = sub.add_parser(
+        "classify",
+        help="measure a workload run on the simulated testbed and "
+             "classify it through a running server",
+    )
+    classify.add_argument("workload")
+    classify.add_argument("-t", "--threads", type=int, default=6)
+    classify.add_argument("-m", "--mode", default="good")
+    classify.add_argument("-n", "--size", type=int, default=0)
+    classify.add_argument("--pattern", default="random")
+    classify.add_argument("--input", default="")
+    classify.add_argument("--opt", default="-O2")
+    classify.add_argument("--host", default="127.0.0.1")
+    classify.add_argument("--port", type=int, default=7130)
+    classify.add_argument("--windows", type=int, default=0,
+                          help="stream N periodic samples through the "
+                               "window aggregator instead of one "
+                               "whole-run vector")
+
+    bench = sub.add_parser(
+        "bench",
+        help="in-process server + deterministic load generator; writes "
+             "BENCH_serve.json",
+    )
+    _add_server_options(bench)
+    bench.add_argument("--smoke", action="store_true",
+                       help="small request count for CI (default: full)")
+    bench.add_argument("--requests", type=int, default=0,
+                       help="request count (default: 2000 smoke / "
+                            "20000 full)")
+    bench.add_argument("--window", type=int, default=512,
+                       help="pipelined requests in flight "
+                            "(default: %(default)s)")
+    bench.add_argument("--output", default="BENCH_serve.json",
+                       help="result document path (default: %(default)s)")
+    bench.add_argument("--max-shed", type=int, default=0,
+                       help="fail (exit 1) when more requests are shed "
+                            "(default: %(default)s)")
+    bench.add_argument("--min-rps", type=float, default=0.0,
+                       help="fail (exit 1) below this throughput "
+                            "(default: no floor)")
+    bench.add_argument("--seed", type=int, default=0)
+
+    ping = sub.add_parser("ping", help="liveness probe")
+    ping.add_argument("--host", default="127.0.0.1")
+    ping.add_argument("--port", type=int, default=7130)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.cmd == "start":
+            return _cmd_start(args)
+        if args.cmd == "classify":
+            return _cmd_classify(args)
+        if args.cmd == "bench":
+            return _cmd_bench(args)
+        if args.cmd == "ping":
+            return _cmd_ping(args)
+        parser.error(f"unknown command {args.cmd!r}")
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_start(args) -> int:
+    import asyncio
+
+    from repro.serve.server import DetectionServer
+
+    model = _load_or_train_model(args.model)
+    server = DetectionServer(
+        model,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        backlog=args.backlog,
+    )
+
+    async def _run() -> None:
+        host, port = await server.start()
+        stats = server.stats()
+        print(f"repro-serve listening on {host}:{port} "
+              f"(tree: {stats['model']['nodes']} nodes, "
+              f"batch<= {args.max_batch}, backlog {args.backlog})")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down (draining in-flight requests)")
+        import asyncio as _a
+
+        _a.run(server.stop(drain=True))
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from repro.cli import _build_config, _resolve_target
+    from repro.core.lab import Lab
+    from repro.pmu.events import TABLE2_EVENTS
+    from repro.serve.client import ServeClient
+    from repro.serve.stream import WindowAggregator
+    from repro.utils.stats import majority
+
+    target, kind = _resolve_target(args.workload)
+    cfg = _build_config(target, kind, args)
+    lab = Lab()
+    with ServeClient(args.host, args.port) as client:
+        if args.windows:
+            result = lab.simulate(target, cfg)
+            agg = WindowAggregator(window=max(result.seconds, 1e-9)
+                                   / args.windows)
+            windows = agg.add_stream(
+                lab.sampler.measure_stream(result, TABLE2_EVENTS,
+                                           windows=args.windows,
+                                           run_id=cfg.run_id())
+            )
+            labels = [client.classify(w.features, rid=w.index)
+                      for w in windows]
+            for w, label in zip(windows, labels):
+                print(f"  window {w.index:3d} "
+                      f"[{w.t_start * 1e3:8.3f}ms - "
+                      f"{w.t_end * 1e3:8.3f}ms] -> {label}")
+            label = majority(labels)
+        else:
+            vec = lab.measure(target, cfg, TABLE2_EVENTS)
+            label = client.classify_counts(vec.values)
+    lab.flush()
+    print(f"{args.workload} [{cfg.run_id()}] -> {label}")
+    return 0 if label == "good" else 1
+
+
+def _cmd_bench(args) -> int:
+    from repro.serve.inference import as_compiled
+    from repro.serve.loadgen import (
+        bench_payload,
+        generate_stream,
+        measure_predict_batch,
+        run_loadgen,
+    )
+    from repro.serve.server import ServerThread
+
+    n = args.requests or (2_000 if args.smoke else 20_000)
+    model = _load_or_train_model(args.model)
+    compiled = as_compiled(model)
+    print(f"generating {n} request vectors (deterministic, seed "
+          f"{args.seed})...")
+    X, _tags = generate_stream(n, seed=args.seed)
+    vps = measure_predict_batch(compiled, X)
+    thread = ServerThread(
+        compiled,
+        host=args.host,
+        port=0,  # ephemeral: the bench must not collide with a real server
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        backlog=args.backlog,
+    )
+    host, port = thread.start()
+    try:
+        result = run_loadgen(host, port, X, window=args.window)
+    finally:
+        thread.stop()
+    payload = bench_payload(result, vps,
+                            mode="smoke" if args.smoke else "full")
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    lat = result.latency_ms
+    print(f"result: {out}")
+    print(f"  throughput      {result.throughput_rps:12,.0f} req/s "
+          f"({result.requests} requests, window {result.window})")
+    print(f"  latency ms      p50 {lat['p50']:.3f}  p95 {lat['p95']:.3f}  "
+          f"p99 {lat['p99']:.3f}")
+    print(f"  shed            {result.shed}")
+    print(f"  predict_batch   {vps:12,.0f} vectors/s (offline)")
+    if result.errors:
+        print(f"error: {result.errors} request(s) failed", file=sys.stderr)
+        return 1
+    if result.shed > args.max_shed:
+        print(f"serve bench: FAIL (shed {result.shed} > "
+              f"--max-shed {args.max_shed})", file=sys.stderr)
+        return 1
+    if args.min_rps and result.throughput_rps < args.min_rps:
+        print(f"serve bench: FAIL (throughput {result.throughput_rps:,.0f} "
+              f"< --min-rps {args.min_rps:,.0f})", file=sys.stderr)
+        return 1
+    print("serve bench: PASS")
+    return 0
+
+
+def _cmd_ping(args) -> int:
+    from repro.serve.client import ServeClient
+
+    with ServeClient(args.host, args.port) as client:
+        ok = client.ping()
+    print("ok" if ok else "no response")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(serve_main())

@@ -1,0 +1,204 @@
+"""Compiled-tree inference: the fitted J48 tree as flat numpy arrays.
+
+The recursive :class:`~repro.ml.tree_model.TreeNode` is the right shape for
+learning, pruning and rendering, but classifying one vector at a time in
+Python is far too slow for an online service.  :class:`CompiledTree`
+flattens the tree into parallel arrays — feature index, threshold, child
+pointers and leaf labels — and walks *all* rows of a batch level by level
+with numpy indexing.  Every comparison is the same ``x[f] <= t`` the
+recursive walker performs, so the compiled output is bit-identical to
+:meth:`repro.ml.c45.C45Classifier.predict` (asserted by tests and by
+:meth:`CompiledTree.verify`).
+
+Nodes are laid out in preorder (node, left subtree, right subtree), which
+makes the layout a pure function of the tree structure: two structurally
+equal trees — e.g. a model and its JSON-persistence round trip — compile
+to identical arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import DatasetError, NotFittedError
+from repro.ml.tree_model import TreeNode
+
+__all__ = ["CompiledTree", "as_compiled"]
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledTree:
+    """A binary decision tree over continuous features, as flat arrays.
+
+    ``feature[i] >= 0`` marks an internal node testing
+    ``x[feature[i]] <= threshold[i]`` (true goes to ``left[i]``, false to
+    ``right[i]``); ``feature[i] == -1`` marks a leaf whose label is
+    ``classes[leaf[i]]``.  Node 0 is the root; children follow their parent
+    in preorder.
+    """
+
+    feature: np.ndarray   #: (n_nodes,) intp, -1 on leaves
+    threshold: np.ndarray  #: (n_nodes,) float64, 0.0 on leaves
+    left: np.ndarray      #: (n_nodes,) intp, 0 on leaves
+    right: np.ndarray     #: (n_nodes,) intp, 0 on leaves
+    leaf: np.ndarray      #: (n_nodes,) intp index into classes, -1 internal
+    classes: Tuple[str, ...]
+    #: Leaf labels as an object array so ``predict_batch`` returns the very
+    #: same ``str`` objects the recursive walker does.
+    _labels: np.ndarray = field(repr=False, compare=False)
+
+    # ------------------------------------------------------------- building
+
+    @classmethod
+    def from_tree(
+        cls,
+        root: TreeNode,
+        classes: Optional[Sequence[str]] = None,
+    ) -> "CompiledTree":
+        """Flatten ``root`` (preorder) into a :class:`CompiledTree`.
+
+        ``classes`` fixes the label index space (e.g. a classifier's
+        ``classes_``); leaf labels not listed there are appended, so any
+        well-formed tree compiles.
+        """
+        label_index = {c: i for i, c in enumerate(classes or ())}
+        labels: List[str] = list(classes or ())
+
+        feature: List[int] = []
+        threshold: List[float] = []
+        left: List[int] = []
+        right: List[int] = []
+        leaf: List[int] = []
+
+        def alloc(node: TreeNode) -> int:
+            idx = len(feature)
+            if node.is_leaf:
+                code = label_index.get(node.label)
+                if code is None:
+                    code = label_index[node.label] = len(labels)
+                    labels.append(node.label)
+                feature.append(-1)
+                threshold.append(0.0)
+                left.append(0)
+                right.append(0)
+                leaf.append(code)
+                return idx
+            if node.left is None or node.right is None:
+                raise DatasetError("internal tree node is missing a child")
+            feature.append(int(node.feature))
+            threshold.append(float(node.threshold))
+            left.append(0)
+            right.append(0)
+            leaf.append(-1)
+            left[idx] = alloc(node.left)
+            right[idx] = alloc(node.right)
+            return idx
+
+        alloc(root)
+        return cls(
+            feature=np.asarray(feature, dtype=np.intp),
+            threshold=np.asarray(threshold, dtype=np.float64),
+            left=np.asarray(left, dtype=np.intp),
+            right=np.asarray(right, dtype=np.intp),
+            leaf=np.asarray(leaf, dtype=np.intp),
+            classes=tuple(labels),
+            _labels=np.array(labels, dtype=object),
+        )
+
+    @classmethod
+    def from_classifier(cls, clf) -> "CompiledTree":
+        """Compile a fitted :class:`~repro.ml.c45.C45Classifier`."""
+        if getattr(clf, "root_", None) is None:
+            raise NotFittedError("cannot compile an unfitted classifier")
+        return cls.from_tree(clf.root_, classes=clf.classes_)
+
+    # ------------------------------------------------------------ inference
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.size)
+
+    @property
+    def n_leaves(self) -> int:
+        return int((self.feature < 0).sum())
+
+    @property
+    def n_features(self) -> int:
+        """Smallest feature-vector width this tree can classify."""
+        internal = self.feature[self.feature >= 0]
+        return int(internal.max()) + 1 if internal.size else 0
+
+    def predict_indices(self, X: np.ndarray) -> np.ndarray:
+        """Class index (into :attr:`classes`) for every row of ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.ndim != 2:
+            raise DatasetError(f"expected a 2-d batch, got shape {X.shape}")
+        if X.shape[1] < self.n_features:
+            raise DatasetError(
+                f"batch has {X.shape[1]} features; tree tests feature "
+                f"index {self.n_features - 1}"
+            )
+        idx = np.zeros(X.shape[0], dtype=np.intp)
+        # Rows still sitting on an internal node.  Each pass advances every
+        # active row one level, so the loop runs depth() times regardless
+        # of batch size.  NaN features compare False, taking the right
+        # branch — exactly like the recursive walker.
+        rows = np.flatnonzero(self.feature[idx] >= 0)
+        while rows.size:
+            node = idx[rows]
+            go_left = X[rows, self.feature[node]] <= self.threshold[node]
+            idx[rows] = np.where(go_left, self.left[node], self.right[node])
+            rows = rows[self.feature[idx[rows]] >= 0]
+        return self.leaf[idx]
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Labels for every row of ``X``; bit-identical to the recursive walk."""
+        return self._labels[self.predict_indices(X)]
+
+    # ----------------------------------------------------------- validation
+
+    def verify(self, root: TreeNode, X: np.ndarray) -> bool:
+        """True when this compilation matches ``root``'s recursive walk on X."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        recursive = np.array([root.predict_one(row) for row in X],
+                             dtype=object)
+        return bool(np.array_equal(self.predict_batch(X), recursive))
+
+    def to_dict(self) -> dict:
+        """Plain-data view of the arrays (tests, debugging, manifests)."""
+        return {
+            "feature": self.feature.tolist(),
+            "threshold": self.threshold.tolist(),
+            "left": self.left.tolist(),
+            "right": self.right.tolist(),
+            "leaf": self.leaf.tolist(),
+            "classes": list(self.classes),
+        }
+
+
+def as_compiled(model: Union[CompiledTree, TreeNode, str, "object"]) -> CompiledTree:
+    """Coerce any tree-ish model into a :class:`CompiledTree`.
+
+    Accepts a :class:`CompiledTree` (returned as-is), a fitted
+    :class:`~repro.ml.c45.C45Classifier`, a bare
+    :class:`~repro.ml.tree_model.TreeNode`, or a path to a model JSON saved
+    by :mod:`repro.ml.persistence`.
+    """
+    if isinstance(model, CompiledTree):
+        return model
+    if isinstance(model, TreeNode):
+        return CompiledTree.from_tree(model)
+    if isinstance(model, (str, bytes)) or hasattr(model, "__fspath__"):
+        from repro.ml.persistence import load_classifier
+
+        return CompiledTree.from_classifier(load_classifier(model))
+    if hasattr(model, "root_"):
+        return CompiledTree.from_classifier(model)
+    raise DatasetError(f"cannot compile {type(model).__name__} into a tree")

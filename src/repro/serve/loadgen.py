@@ -1,0 +1,187 @@
+"""Deterministic load generator for the detection service.
+
+Replays suite-derived event streams against a running server and reports
+what a capacity plan needs: sustained throughput, p50/p95/p99 latency and
+the shed count.  The stream is generated from the same simulated testbed
+as everything else in this repo — a fixed mix of mini-program and
+Phoenix/PARSEC runs (good, bad-fs and bad-ma cases), re-measured with
+fresh PMU noise per request — so the vectors are exactly the distribution
+the detector sees in production, and two runs with the same seed produce
+bit-identical request streams.
+
+``BENCH_serve.json`` at the repo root is this module's output (via
+``repro-serve bench``); CI replays a smoke-sized run and fails on any
+shed, so the serving path's capacity is tracked per PR like the
+simulator's throughput is.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.lab import Lab
+from repro.utils.stats import tally
+
+__all__ = ["LoadGenResult", "generate_stream", "run_loadgen",
+           "measure_predict_batch", "bench_payload"]
+
+#: The replayed mix: (workload-ish, config factory, expected flavour).
+#: Mini-programs cover the three classes cheaply; the two suite cases are
+#: the paper's marquee false-sharing programs (linear_regression at -O0,
+#: streamcluster) so the served stream contains real "production" vectors.
+def _stream_mix() -> List[Tuple[object, object, str]]:
+    from repro.suites import get_program
+    from repro.suites.base import SuiteCase
+    from repro.workloads.base import Mode, RunConfig
+    from repro.workloads.registry import get_workload
+
+    psums = get_workload("psums")
+    pdot = get_workload("pdot")
+    seq = get_workload("seq_read")
+    lr = get_program("linear_regression")
+    sc = get_program("streamcluster")
+    size = psums.train_sizes[-1]
+    return [
+        (psums, RunConfig(threads=4, mode=Mode.GOOD, size=size), "good"),
+        (psums, RunConfig(threads=4, mode=Mode.BAD_FS, size=size), "bad-fs"),
+        (pdot, RunConfig(threads=6, mode=Mode.GOOD,
+                         size=pdot.train_sizes[-1]), "good"),
+        (seq, RunConfig(threads=1, mode=Mode.BAD_MA, size=65_536,
+                        pattern="stride16"), "bad-ma"),
+        (lr, SuiteCase("50MB", "-O0", 6), "suite:linear_regression"),
+        (sc, SuiteCase("simsmall", "-O2", 4), "suite:streamcluster"),
+    ]
+
+
+def generate_stream(
+    n: int,
+    seed: int = 0,
+    lab: Optional[Lab] = None,
+    distinct: int = 2048,
+) -> Tuple[np.ndarray, List[str]]:
+    """``n`` normalized feature vectors + their source tags, deterministic.
+
+    Each base run in the mix is simulated once (cached); requests cycle
+    through the mix with a fresh PMU-noise draw per repetition (``rep``
+    keys the draw), so up to ``distinct`` genuinely different measurements
+    are produced and then tiled to length ``n`` — a replayed stream.
+    """
+    from repro.core.training import FEATURES
+    from repro.pmu.events import TABLE2_EVENTS
+
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    lab = lab or Lab(seed=seed)
+    mix = _stream_mix()
+    base = min(n, max(len(mix), distinct))
+    # One simulation per base run (cached on disk across invocations);
+    # every replayed request then re-reads the PMU with its own run_id, so
+    # the noise draw — and therefore the vector — differs per request
+    # exactly as repeated measurements of one run differ on hardware.
+    results = [lab.simulate(workload, cfg) for workload, cfg, _ in mix]
+    rows: List[np.ndarray] = []
+    tags: List[str] = []
+    for i in range(base):
+        j = i % len(mix)
+        vec = lab.sampler.measure(results[j], TABLE2_EVENTS,
+                                  run_id=f"loadgen-{i}")
+        rows.append(vec.features(FEATURES))
+        tags.append(mix[j][2])
+    lab.flush()
+    X = np.vstack(rows)
+    reps = -(-n // base)
+    X = np.tile(X, (reps, 1))[:n]
+    tags = (tags * reps)[:n]
+    return X, tags
+
+
+@dataclass
+class LoadGenResult:
+    """One load-generation run, ready to serialize into BENCH_serve.json."""
+
+    requests: int
+    window: int
+    seconds: float
+    throughput_rps: float
+    latency_ms: Dict[str, float]
+    shed: int
+    errors: int
+    labels: Dict[str, int] = field(default_factory=dict)
+    server: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "window": self.window,
+            "seconds": round(self.seconds, 4),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "latency_ms": {k: round(v, 4)
+                           for k, v in self.latency_ms.items()},
+            "shed": self.shed,
+            "errors": self.errors,
+            "labels": dict(self.labels),
+            "server": self.server,
+        }
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    X: np.ndarray,
+    window: int = 512,
+) -> LoadGenResult:
+    """Replay ``X`` against a running server over one pipelined connection."""
+    from repro.serve.client import ServeClient
+
+    with ServeClient(host, port) as client:
+        bulk = client.classify_many(X, window=window)
+        server_stats = client.stats()
+    return LoadGenResult(
+        requests=X.shape[0] if X.ndim == 2 else 1,
+        window=window,
+        seconds=bulk.seconds,
+        throughput_rps=bulk.throughput_rps,
+        latency_ms=bulk.latency_percentiles_ms(),
+        shed=bulk.shed,
+        errors=bulk.errors,
+        labels=tally(lab for lab in bulk.labels if lab is not None),
+        server={
+            "batches": server_stats.get("batches"),
+            "max_batch_seen": server_stats.get("max_batch_seen"),
+            "shed": server_stats.get("shed"),
+            "config": server_stats.get("config", {}),
+        },
+    )
+
+
+def measure_predict_batch(
+    compiled, X: np.ndarray, repeats: int = 3
+) -> float:
+    """Vectors/second of the bare compiled tree on this batch (best-of)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        compiled.predict_batch(X)
+        best = min(best, time.perf_counter() - t0)
+    return X.shape[0] / best if best > 0 else float("inf")
+
+
+def bench_payload(
+    result: LoadGenResult,
+    predict_batch_vps: float,
+    mode: str = "smoke",
+) -> Dict[str, Any]:
+    """The ``BENCH_serve.json`` document for one load-generation run."""
+    import os
+
+    return {
+        "bench": "serve-throughput",
+        "mode": mode,
+        "cpus": os.cpu_count(),
+        "loadgen": result.to_dict(),
+        "predict_batch_vectors_per_s": round(predict_batch_vps),
+    }

@@ -1,0 +1,525 @@
+"""Asyncio JSON-lines TCP server for online false-sharing detection.
+
+One JSON object per line in, one per line out, responses in request order
+per connection.  Requests:
+
+* ``{"op": "classify", "id": 7, "features": [..15 floats..]}`` — classify
+  a pre-normalized feature vector;
+* ``{"op": "classify", "id": 7, "counts": {event: raw_count, ...}}`` —
+  classify raw counts (normalized server-side; must include the
+  ``Instructions_Retired`` normalizer);
+* ``{"op": "ping"}`` / ``{"op": "stats"}`` — liveness and counters;
+* ``{"op": "reload", "path": "model.json"}`` — hot-swap the tree from a
+  :mod:`repro.ml.persistence` file without dropping connections.
+
+Replies: ``{"id": 7, "label": "bad-fs"}`` on success;
+``{"id": 7, "error": "overloaded"}`` when the bounded request queue is
+full (explicit shed — the server never buffers without bound);
+``{"error": "bad_request", "detail": ...}`` for malformed input.
+
+**Micro-batching.**  Classification requests land in a bounded queue; a
+single batcher task drains up to ``max_batch`` of them (waiting at most
+``max_wait_s`` for stragglers) and classifies the whole batch with one
+:meth:`~repro.serve.inference.CompiledTree.predict_batch` call.  Under
+load, batches grow toward ``max_batch`` and per-request cost approaches
+the vectorized floor; when idle, a lone request pays at most
+``max_wait_s`` of extra latency.
+
+**Shutdown.**  :meth:`DetectionServer.stop` stops accepting, lets the
+batcher drain everything already queued (every accepted request gets its
+response), then closes connections — in-flight work is flushed, not
+dropped.
+
+The hot path is instrumented with :mod:`repro.telemetry` counters/gauges
+(``serve.requests``, ``serve.shed``, ``serve.batches``,
+``serve.queue_depth``, ``serve.batch_size``) and a ``serve.batch`` span.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PMUError, ReproError, ServeError
+from repro.pmu.counters import EventVector
+from repro.serve.inference import CompiledTree, as_compiled
+from repro.telemetry.core import TELEMETRY
+
+__all__ = ["DetectionServer", "ServerThread"]
+
+#: Sentinel queued by ``stop`` so the batcher exits after draining
+#: everything enqueued before shutdown began.
+_STOP = object()
+
+
+class _Pending:
+    """One accepted classification request awaiting its batch."""
+
+    __slots__ = ("features", "future")
+
+    def __init__(self, features: np.ndarray,
+                 future: "asyncio.Future[str]") -> None:
+        self.features = features
+        self.future = future
+
+
+class DetectionServer:
+    """Online detector: compiled tree + bounded queue + micro-batcher.
+
+    ``model`` is anything :func:`repro.serve.inference.as_compiled`
+    accepts: a :class:`CompiledTree`, a fitted ``C45Classifier``, a bare
+    tree, or a path to a persisted model JSON.
+    """
+
+    def __init__(
+        self,
+        model,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 256,
+        max_wait_s: float = 0.002,
+        backlog: int = 4096,
+        features: Optional[List] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServeError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ServeError("max_wait_s must be >= 0")
+        if backlog < 1:
+            raise ServeError("backlog must be >= 1")
+        self._compiled: CompiledTree = as_compiled(model)
+        self.host = host
+        self.port = port
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.backlog = backlog
+        if features is None:
+            from repro.core.training import FEATURES
+
+            features = list(FEATURES)
+        self.features = features
+        # Lifecycle / hot-path state (created on start()).
+        self._queue: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._batch_task: Optional[asyncio.Task] = None
+        self._resume: Optional[asyncio.Event] = None
+        self._writers: set = set()
+        self._accepting = False
+        # Counters (mirrored into telemetry when enabled).
+        self.requests = 0
+        self.shed = 0
+        self.batches = 0
+        self.classified = 0
+        self.reloads = 0
+        self.max_seen_batch = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        if self._server is not None:
+            raise ServeError("server already started")
+        self._queue = asyncio.Queue(maxsize=self.backlog)
+        self._resume = asyncio.Event()
+        self._resume.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # Only after a successful bind: a failed start must not leave an
+        # orphaned batcher task behind on the loop.
+        self._batch_task = asyncio.create_task(self._batch_loop())
+        self._accepting = True
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: stop accepting, drain, then close.
+
+        With ``drain=True`` (default) every request accepted before the
+        call gets a real response; ``drain=False`` fails queued work with
+        a ``shutdown`` error instead.
+        """
+        if self._server is None:
+            return
+        self._accepting = False
+        self._server.close()
+        await self._server.wait_closed()
+        assert self._queue is not None and self._batch_task is not None
+        if drain:
+            self._resume.set()  # a paused batcher must still drain
+            await self._queue.put(_STOP)
+            await self._batch_task
+        else:
+            self._batch_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._batch_task
+            while not self._queue.empty():
+                item = self._queue.get_nowait()
+                if item is not _STOP and not item.future.done():
+                    item.future.set_exception(ServeError("server shut down"))
+        for writer in list(self._writers):
+            writer.close()
+        self._server = None
+        self._batch_task = None
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI's foreground mode)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # -------------------------------------------------- test / ops controls
+
+    def pause_batching(self) -> None:
+        """Hold the batcher (tests: deterministically fill the queue)."""
+        if self._resume is not None:
+            self._resume.clear()
+
+    def resume_batching(self) -> None:
+        if self._resume is not None:
+            self._resume.set()
+
+    def reload_model(self, model) -> CompiledTree:
+        """Atomically swap the compiled tree (in-flight batches finish on
+        the old one)."""
+        compiled = as_compiled(model)
+        self._compiled = compiled
+        self.reloads += 1
+        TELEMETRY.count("serve.reloads")
+        return compiled
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "classified": self.classified,
+            "shed": self.shed,
+            "batches": self.batches,
+            "max_batch_seen": self.max_seen_batch,
+            "reloads": self.reloads,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "accepting": self._accepting,
+            "model": {
+                "nodes": self._compiled.n_nodes,
+                "leaves": self._compiled.n_leaves,
+                "classes": list(self._compiled.classes),
+            },
+            "config": {
+                "max_batch": self.max_batch,
+                "max_wait_ms": self.max_wait_s * 1e3,
+                "backlog": self.backlog,
+            },
+        }
+
+    # ------------------------------------------------------------ admission
+
+    def submit(self, features: np.ndarray) -> Optional["asyncio.Future[str]"]:
+        """Queue one vector for classification.
+
+        Returns the future resolving to its label, or ``None`` when the
+        bounded queue is full — the caller must translate that into an
+        explicit ``overloaded`` response (shedding beats unbounded
+        buffering: the client learns *now* that it must back off).
+        """
+        if self._queue is None:
+            raise ServeError("server is not started")
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait(_Pending(features, fut))
+        except asyncio.QueueFull:
+            self.shed += 1
+            TELEMETRY.count("serve.shed")
+            return None
+        self.requests += 1
+        TELEMETRY.count("serve.requests")
+        return fut
+
+    # ------------------------------------------------------------- batching
+
+    async def _batch_loop(self) -> None:
+        assert self._queue is not None and self._resume is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _STOP:
+                return
+            # Paused (tests/ops): hold this item until resumed; everything
+            # behind it stays queued, so a full queue sheds deterministically.
+            await self._resume.wait()
+            batch: List[_Pending] = [first]
+            stopping = False
+            deadline = loop.time() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    # Under sustained load the queue refills while a batch
+                    # is classified; take whatever is ready without waiting.
+                    while (len(batch) < self.max_batch
+                           and not self._queue.empty()):
+                        item = self._queue.get_nowait()
+                        if item is _STOP:
+                            stopping = True
+                            break
+                        batch.append(item)
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(),
+                                                  remaining)
+                except asyncio.TimeoutError:
+                    break
+                if item is _STOP:
+                    stopping = True
+                    break
+                batch.append(item)
+            self._classify_batch(batch)
+            if stopping:
+                await self._drain_rest()
+                return
+
+    async def _drain_rest(self) -> None:
+        """Classify everything left after _STOP (enqueued concurrently)."""
+        assert self._queue is not None
+        batch: List[_Pending] = []
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is _STOP:
+                continue
+            batch.append(item)
+            if len(batch) >= self.max_batch:
+                self._classify_batch(batch)
+                batch = []
+        if batch:
+            self._classify_batch(batch)
+
+    def _classify_batch(self, batch: List[_Pending]) -> None:
+        if not batch:
+            return
+        compiled = self._compiled
+        X = np.vstack([p.features for p in batch])
+        with TELEMETRY.span("serve.batch", size=len(batch)):
+            labels = compiled.predict_batch(X)
+        for pending, label in zip(batch, labels):
+            if not pending.future.done():
+                pending.future.set_result(str(label))
+        self.batches += 1
+        self.classified += len(batch)
+        self.max_seen_batch = max(self.max_seen_batch, len(batch))
+        TELEMETRY.count("serve.batches")
+        TELEMETRY.count("serve.classified", len(batch))
+        TELEMETRY.gauge("serve.batch_size", len(batch))
+        TELEMETRY.gauge("serve.queue_depth",
+                        self._queue.qsize() if self._queue else 0)
+
+    # ----------------------------------------------------------- connections
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        # Responses go through a per-connection FIFO drained by one writer
+        # task: the read loop never blocks on classification (so one
+        # connection can keep a whole batch in flight) while responses stay
+        # in request order.
+        responses: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(
+            self._write_loop(responses, writer)
+        )
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                await responses.put(self._dispatch(line))
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            await responses.put(None)
+            with contextlib.suppress(Exception):
+                await writer_task
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _write_loop(
+        self, responses: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            item = await responses.get()
+            if item is None:
+                return
+            if isinstance(item, tuple):  # (request id, pending future)
+                rid, fut = item
+                try:
+                    payload = {"id": rid, "label": await fut}
+                except ServeError as exc:
+                    payload = {"id": rid, "error": "shutdown",
+                               "detail": str(exc)}
+                except asyncio.CancelledError:
+                    payload = {"id": rid, "error": "shutdown"}
+            else:
+                payload = item
+            try:
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return
+
+    # -------------------------------------------------------------- protocol
+
+    def _dispatch(self, line: bytes):
+        """Parse one request line; returns a payload dict or (id, future)."""
+        try:
+            req = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"error": "bad_request", "detail": f"invalid JSON: {exc}"}
+        if not isinstance(req, dict):
+            return {"error": "bad_request", "detail": "expected an object"}
+        op = req.get("op", "classify")
+        rid = req.get("id")
+        if op == "ping":
+            return {"id": rid, "ok": True, "server": "repro-serve"}
+        if op == "stats":
+            return {"id": rid, "stats": self.stats()}
+        if op == "reload":
+            return self._handle_reload(req, rid)
+        if op != "classify":
+            return {"id": rid, "error": "bad_request",
+                    "detail": f"unknown op {op!r}"}
+        if not self._accepting:
+            return {"id": rid, "error": "shutdown"}
+        try:
+            features = self._extract_features(req)
+        except (ServeError, PMUError) as exc:
+            return {"id": rid, "error": "bad_request", "detail": str(exc)}
+        fut = self.submit(features)
+        if fut is None:
+            return {"id": rid, "error": "overloaded",
+                    "detail": "request queue full; back off and retry"}
+        return (rid, fut)
+
+    def _handle_reload(self, req: Dict, rid) -> Dict[str, Any]:
+        path = req.get("path")
+        if not path:
+            return {"id": rid, "error": "bad_request",
+                    "detail": "reload requires a 'path'"}
+        try:
+            compiled = self.reload_model(path)
+        except (ReproError, OSError) as exc:
+            return {"id": rid, "error": "reload_failed", "detail": str(exc)}
+        return {"id": rid, "reloaded": True, "nodes": compiled.n_nodes,
+                "classes": list(compiled.classes)}
+
+    def _extract_features(self, req: Dict) -> np.ndarray:
+        if "features" in req:
+            feats = np.asarray(req["features"], dtype=float)
+            if feats.ndim != 1 or feats.size != len(self.features):
+                raise ServeError(
+                    f"'features' must be a flat list of "
+                    f"{len(self.features)} floats"
+                )
+            return feats
+        if "counts" in req:
+            counts = req["counts"]
+            if not isinstance(counts, dict):
+                raise ServeError("'counts' must be an object of raw counts")
+            vec = EventVector(
+                {str(k): float(v) for k, v in counts.items()}
+            )
+            return vec.features(self.features)
+        raise ServeError("classify requires 'features' or 'counts'")
+
+
+class ServerThread:
+    """A :class:`DetectionServer` on a private event loop in a thread.
+
+    Synchronous code (the CLI, the load generator, tests, experiments)
+    uses this to run the asyncio server in the background::
+
+        with ServerThread(model) as (host, port):
+            client = ServeClient(host, port)
+            ...
+    """
+
+    def __init__(self, model, **kwargs) -> None:
+        self.server = DetectionServer(model, **kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    def start(self) -> Tuple[str, int]:
+        if self._thread is not None:
+            raise ServeError("server thread already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise ServeError("server thread failed to start")
+        if self._startup_error is not None:
+            raise ServeError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        assert self.address is not None
+        return self.address
+
+    def _run(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        try:
+            self.address = self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._started.set()
+            self._loop.close()
+            return
+        self._started.set()
+        self._loop.run_forever()
+        # Drain callbacks scheduled during stop() before closing the loop.
+        self._loop.run_until_complete(asyncio.sleep(0))
+        self._loop.close()
+
+    def pause_batching(self) -> None:
+        """Thread-safe :meth:`DetectionServer.pause_batching`."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.pause_batching)
+
+    def resume_batching(self) -> None:
+        """Thread-safe :meth:`DetectionServer.resume_batching`."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.resume_batching)
+
+    def call(self, coro_fn, *args, **kwargs):
+        """Run ``await coro_fn(*args)`` on the server's loop, synchronously."""
+        if self._loop is None:
+            raise ServeError("server thread is not running")
+        fut = asyncio.run_coroutine_threadsafe(
+            coro_fn(*args, **kwargs), self._loop
+        )
+        return fut.result(timeout=30.0)
+
+    def stop(self, drain: bool = True) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        self.call(self.server.stop, drain=drain)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,221 @@
+"""Windowed aggregation of raw PMU samples into feature vectors.
+
+An online monitor does not see one tidy :class:`EventVector` per program —
+it sees a stream of periodic counter readings from many sources (one per
+monitored pid/core).  :class:`WindowAggregator` turns that stream back into
+the shape the classifier was trained on: raw counts summed over a time
+window, normalized by instructions retired, in Table 2 feature order.
+
+Windows sit on an absolute grid: window ``k`` of a source covers
+``[k * slide, k * slide + window)`` seconds.  ``slide == window`` gives
+tumbling (disjoint) windows; ``slide < window`` gives sliding (overlapping)
+ones.  The grid makes aggregation a pure function of the samples — two
+replays of the same stream emit identical windows — which is what lets the
+load generator and tests be deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PMUError, ServeError
+from repro.pmu.counters import EventVector
+from repro.pmu.events import Event
+
+__all__ = ["StreamWindow", "WindowAggregator"]
+
+
+@dataclass(frozen=True)
+class StreamWindow:
+    """One completed window of one source, ready for classification."""
+
+    source: str
+    index: int          #: window number on the source's grid
+    t_start: float
+    t_end: float
+    samples: int        #: raw samples aggregated into this window
+    vector: EventVector
+    features: np.ndarray  #: instruction-normalized, feature-event order
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "index": self.index,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "samples": self.samples,
+            "features": [float(v) for v in self.features],
+        }
+
+
+@dataclass
+class _SourceState:
+    """Open windows of one source, keyed by grid index."""
+
+    #: window index -> (summed counts, sample count)
+    open: Dict[int, Tuple[Dict[str, float], int]] = field(default_factory=dict)
+    last_t: float = float("-inf")
+    emitted_through: int = -1  #: highest window index already emitted
+
+
+class WindowAggregator:
+    """Aggregates per-source count samples into classifier-ready windows.
+
+    Parameters
+    ----------
+    features:
+        The events (in order) whose normalized counts form the feature
+        vector — by default the paper's 15 Table 2 features.
+    window, slide:
+        Window length and grid step in seconds.  ``slide`` defaults to
+        ``window`` (tumbling); ``slide < window`` produces overlapping
+        sliding windows.
+
+    Feed it with :meth:`add` (source, timestamp, raw counts) or
+    :meth:`add_vector` (an :class:`EventVector` whose meta carries
+    ``source`` and ``t``, e.g. from
+    :meth:`repro.pmu.sampler.PMUSampler.measure_stream`).  Both return the
+    windows *completed* by the new sample; :meth:`flush` drains the
+    still-open remainder at end of stream.
+
+    Per-source timestamps must be non-decreasing (the transport is assumed
+    ordered per source; sources are independent).  A window whose summed
+    instruction count is zero cannot be normalized and is dropped with a
+    ``dropped`` tally rather than emitted.
+    """
+
+    def __init__(
+        self,
+        features: Optional[Sequence[Event]] = None,
+        window: float = 1.0,
+        slide: Optional[float] = None,
+    ) -> None:
+        if features is None:
+            from repro.core.training import FEATURES
+
+            features = FEATURES
+        if window <= 0:
+            raise ServeError("window must be > 0 seconds")
+        slide = window if slide is None else slide
+        if not 0 < slide <= window:
+            raise ServeError("slide must be in (0, window]")
+        self.features = list(features)
+        self.window = float(window)
+        self.slide = float(slide)
+        self.dropped = 0
+        self._sources: Dict[str, _SourceState] = {}
+
+    # ------------------------------------------------------------- feeding
+
+    def add(
+        self, source: str, t: float, counts: Dict[str, float]
+    ) -> List[StreamWindow]:
+        """Ingest one sample; return windows it completes (oldest first)."""
+        state = self._sources.setdefault(str(source), _SourceState())
+        if t < 0:
+            raise ServeError("sample timestamps must be >= 0")
+        if t < state.last_t:
+            raise ServeError(
+                f"out-of-order sample for source {source!r}: "
+                f"t={t} after t={state.last_t}"
+            )
+        state.last_t = t
+        # Every window whose span contains t accumulates this sample:
+        # k * slide <= t < k * slide + window.  The division only seeds the
+        # search; the loop below settles boundary cases exactly, so float
+        # rounding in t/slide can never put a sample in a window whose span
+        # excludes it (or in none at all).
+        first = int(np.floor(max(t - self.window, 0.0) / self.slide))
+        while first * self.slide + self.window <= t:
+            first += 1
+        last = max(int(np.floor(t / self.slide)), first)
+        while (last + 1) * self.slide <= t:
+            last += 1
+        for k in range(first, last + 1):
+            if k <= state.emitted_through:
+                continue  # late sample for an already-emitted window
+            acc, n = state.open.get(k, (None, 0))
+            if acc is None:
+                acc = {}
+            for name, value in counts.items():
+                acc[name] = acc.get(name, 0.0) + float(value)
+            state.open[k] = (acc, n + 1)
+        # Windows that can no longer receive samples (their end <= t) close.
+        return self._emit_closed(source, state, horizon=t)
+
+    def add_vector(self, vec: EventVector) -> List[StreamWindow]:
+        """Ingest a measured :class:`EventVector` (meta: ``source``, ``t``)."""
+        source = str(vec.meta.get("source", vec.meta.get("run", "default")))
+        t = vec.meta.get("t")
+        if t is None:
+            raise ServeError("EventVector.meta lacks a 't' timestamp")
+        return self.add(source, float(t), vec.values)
+
+    def add_stream(self, vectors: Iterable[EventVector]) -> List[StreamWindow]:
+        """Ingest a whole iterable of vectors and flush: all windows, ordered."""
+        out: List[StreamWindow] = []
+        for vec in vectors:
+            out.extend(self.add_vector(vec))
+        out.extend(self.flush())
+        return out
+
+    # ------------------------------------------------------------- emitting
+
+    def _emit_closed(
+        self, source: str, state: _SourceState, horizon: float
+    ) -> List[StreamWindow]:
+        done = sorted(
+            k for k in state.open if k * self.slide + self.window <= horizon
+        )
+        return [w for k in done
+                if (w := self._emit(source, state, k)) is not None]
+
+    def _emit(
+        self, source: str, state: _SourceState, k: int
+    ) -> Optional[StreamWindow]:
+        acc, n = state.open.pop(k)
+        state.emitted_through = max(state.emitted_through, k)
+        t0 = k * self.slide
+        vec = EventVector(
+            acc,
+            meta={"source": source, "window": k,
+                  "t_start": t0, "t_end": t0 + self.window, "samples": n},
+        )
+        try:
+            feats = vec.features(self.features)
+        except PMUError:
+            # No instructions retired in the window (idle source): nothing
+            # to normalize by, nothing the classifier could say.
+            self.dropped += 1
+            return None
+        return StreamWindow(
+            source=source,
+            index=k,
+            t_start=t0,
+            t_end=t0 + self.window,
+            samples=n,
+            vector=vec,
+            features=feats,
+        )
+
+    def flush(self) -> List[StreamWindow]:
+        """Emit every still-open (partial) window, sources sorted, oldest first."""
+        out: List[StreamWindow] = []
+        for source in sorted(self._sources):
+            state = self._sources[source]
+            for k in sorted(state.open):
+                w = self._emit(source, state, k)
+                if w is not None:
+                    out.append(w)
+        return out
+
+    @property
+    def open_windows(self) -> int:
+        return sum(len(s.open) for s in self._sources.values())
+
+    @property
+    def sources(self) -> List[str]:
+        return sorted(self._sources)

@@ -125,6 +125,86 @@ class TestUmbrellaMain:
         assert main(["perf", "list"]) == 0
         assert "pdot" in capsys.readouterr().out
 
+    def test_usage_lists_serve(self, capsys):
+        main([])
+        assert "serve" in capsys.readouterr().out
+
+    def test_dispatches_to_serve(self, capsys):
+        # ping against a dead port: dispatch works, command fails cleanly.
+        rc = main(["serve", "ping", "--port", "1"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeCLI:
+    @pytest.fixture
+    def model_path(self, tmp_path):
+        import numpy as np
+
+        from repro.core.training import FEATURES
+        from repro.ml.c45 import C45Classifier
+        from repro.ml.dataset import Dataset
+        from repro.ml.persistence import save_classifier
+
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(120, len(FEATURES)))
+        y = ["bad-fs" if r[0] > 0 else "good" for r in X]
+        clf = C45Classifier().fit(
+            Dataset(X, y, [e.name for e in FEATURES])
+        )
+        path = tmp_path / "model.json"
+        save_classifier(clf, path)
+        return path
+
+    def test_bench_smoke_writes_result(self, model_path, tmp_path, capsys):
+        from repro.serve.cli import serve_main
+
+        out = tmp_path / "BENCH_serve.json"
+        rc = serve_main([
+            "bench", "--model", str(model_path), "--requests", "48",
+            "--window", "16", "--output", str(out), "--max-shed", "0",
+        ])
+        assert rc == 0
+        assert "serve bench: PASS" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["bench"] == "serve-throughput"
+        assert doc["loadgen"]["requests"] == 48
+        assert doc["loadgen"]["shed"] == 0
+        assert doc["predict_batch_vectors_per_s"] > 0
+
+    def test_classify_against_running_server(self, model_path, capsys):
+        from repro.serve.cli import serve_main
+        from repro.serve.server import ServerThread
+
+        with ServerThread(str(model_path), port=0) as (host, port):
+            rc = serve_main([
+                "classify", "psums", "-t", "4", "-m", "bad-fs",
+                "-n", "2000", "--host", host, "--port", str(port),
+            ])
+        out = capsys.readouterr().out
+        assert rc in (0, 1)  # verdict-dependent exit, not a crash
+        assert "->" in out
+
+    def test_classify_windowed(self, model_path, capsys):
+        from repro.serve.cli import serve_main
+        from repro.serve.server import ServerThread
+
+        with ServerThread(str(model_path), port=0) as (host, port):
+            rc = serve_main([
+                "classify", "psums", "-t", "4", "-m", "good",
+                "-n", "2000", "--windows", "4",
+                "--host", host, "--port", str(port),
+            ])
+        out = capsys.readouterr().out
+        assert rc in (0, 1)
+        assert out.count("window") >= 4
+
+    def test_ping_dead_server_fails(self, capsys):
+        from repro.serve.cli import serve_main
+
+        assert serve_main(["ping", "--port", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestExperimentCLI:
     def test_no_args_lists_experiments(self, capsys):

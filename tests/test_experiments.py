@@ -28,6 +28,12 @@ class TestRegistry:
         assert {"ablation_classifiers", "ablation_events",
                 "ablation_partb", "ablation_noise"} <= ids
 
+    def test_serving_registered(self):
+        # the full experiment needs a trained pipeline; registration and
+        # title only — the serving stack is covered by tests/test_serve_*.
+        assert "serving" in experiment_ids()
+        assert "Online" in experiment_title("serving")
+
     def test_crosscheck_registered(self):
         # runs the full pipeline, so only registration is asserted here;
         # the harness itself is covered by tests/test_analysis_crosscheck.py

@@ -92,6 +92,27 @@ class TestErrors:
             load_classifier(path)
 
 
+class TestCompiledRegression:
+    def test_round_trip_compiles_to_identical_arrays(self, fitted, tmp_path):
+        """Persistence must preserve enough structure that the serving
+        layer's compiled arrays come out identical (preorder layout is a
+        pure function of the tree)."""
+        from repro.serve.inference import as_compiled
+
+        path = tmp_path / "model.json"
+        save_classifier(fitted, path)
+        a = as_compiled(fitted)
+        b = as_compiled(load_classifier(path))
+        for name in ("feature", "threshold", "left", "right", "leaf"):
+            assert np.array_equal(getattr(a, name), getattr(b, name)), name
+        assert a.classes == b.classes
+
+    def test_round_trip_batch_predictions_identical(self, fitted):
+        clone = classifier_from_dict(classifier_to_dict(fitted))
+        probe = np.random.default_rng(9).normal(size=(500, 3))
+        assert np.array_equal(clone.predict(probe), fitted.predict(probe))
+
+
 class TestDetectorIntegration:
     def test_detector_model_portable(self, tmp_path):
         """Train on mini-programs, save, reload into a fresh detector-less

@@ -1,0 +1,216 @@
+"""Tests for compiled-tree inference (repro.serve.inference).
+
+The central claim: ``CompiledTree.predict_batch`` is bit-identical to the
+recursive walk of :class:`~repro.ml.tree_model.TreeNode` — same labels,
+same str objects, on everything from hand-built trees to randomly
+generated ones, including rows landing exactly on split thresholds and
+rows with NaN features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DatasetError, NotFittedError
+from repro.ml.c45 import C45Classifier
+from repro.ml.dataset import Dataset
+from repro.ml.tree_model import TreeModel, TreeNode
+from repro.serve.inference import CompiledTree, as_compiled
+
+
+def _recursive(root: TreeNode, X: np.ndarray) -> np.ndarray:
+    return np.array([root.predict_one(row) for row in np.atleast_2d(X)],
+                    dtype=object)
+
+
+@pytest.fixture
+def fitted():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(300, 5))
+    y = np.where(X[:, 1] + 0.5 * X[:, 3] > 0.1, "bad-fs",
+                 np.where(X[:, 0] < -0.4, "bad-ma", "good"))
+    return C45Classifier().fit(
+        Dataset(X, list(y), [f"f{i}" for i in range(5)])
+    )
+
+
+class TestLayout:
+    def test_single_leaf(self):
+        ct = CompiledTree.from_tree(TreeNode(label="good"))
+        assert ct.n_nodes == 1 and ct.n_leaves == 1
+        assert ct.n_features == 0
+        assert list(ct.predict_batch(np.zeros((3, 4)))) == ["good"] * 3
+
+    def test_preorder_children_follow_parent(self, fitted):
+        ct = as_compiled(fitted)
+        internal = np.flatnonzero(ct.feature >= 0)
+        # Preorder: the left child is always the next node.
+        assert np.array_equal(ct.left[internal], internal + 1)
+        assert (ct.right[internal] > ct.left[internal]).all()
+
+    def test_missing_child_rejected(self):
+        node = TreeNode(feature=0, threshold=0.0,
+                        left=TreeNode(label="a"), right=None)
+        with pytest.raises(DatasetError):
+            CompiledTree.from_tree(node)
+
+    def test_classes_fix_label_index_space(self):
+        root = TreeNode(feature=0, threshold=0.0,
+                        left=TreeNode(label="b"), right=TreeNode(label="a"))
+        ct = CompiledTree.from_tree(root, classes=["a", "b", "c"])
+        assert ct.classes == ("a", "b", "c")
+        # Unlisted labels are appended, not rejected.
+        ct2 = CompiledTree.from_tree(root, classes=["a"])
+        assert ct2.classes == ("a", "b")
+
+    def test_to_dict_round_trips_arrays(self, fitted):
+        ct = as_compiled(fitted)
+        d = ct.to_dict()
+        assert d["feature"] == ct.feature.tolist()
+        assert d["classes"] == list(ct.classes)
+        assert len(d["threshold"]) == ct.n_nodes
+
+
+class TestEquivalence:
+    def test_matches_recursive_on_random_batch(self, fitted, rng):
+        P = rng.normal(size=(2000, 5))
+        assert np.array_equal(as_compiled(fitted).predict_batch(P),
+                              _recursive(fitted.root_, P))
+
+    def test_classifier_predict_routes_through_compiled(self, fitted, rng):
+        P = rng.normal(size=(500, 5))
+        got = fitted.predict(P)
+        assert got.dtype == object
+        assert np.array_equal(got, _recursive(fitted.root_, P))
+
+    def test_treenode_batch_predict_parity(self, fitted, rng):
+        P = rng.normal(size=(200, 5))
+        assert np.array_equal(fitted.root_.predict(P),
+                              fitted.predict(P))
+
+    def test_tree_model_alias(self):
+        assert TreeModel is TreeNode
+
+    def test_exact_threshold_goes_left(self, fitted):
+        ct = as_compiled(fitted)
+        internal = np.flatnonzero(ct.feature >= 0)
+        Q = np.zeros((internal.size, 5))
+        for i, nidx in enumerate(internal):
+            Q[i, ct.feature[nidx]] = ct.threshold[nidx]
+        assert np.array_equal(ct.predict_batch(Q),
+                              _recursive(fitted.root_, Q))
+
+    def test_nan_takes_right_branch(self, fitted, rng):
+        P = rng.normal(size=(300, 5))
+        P[::3, :] = np.nan
+        assert np.array_equal(as_compiled(fitted).predict_batch(P),
+                              _recursive(fitted.root_, P))
+
+    def test_same_string_objects_as_recursive(self, fitted):
+        P = np.zeros((1, 5))
+        got = as_compiled(fitted).predict_batch(P)[0]
+        rec = _recursive(fitted.root_, P)[0]
+        assert got is rec  # identical interned label objects
+
+    def test_verify_helper(self, fitted, rng):
+        P = rng.normal(size=(50, 5))
+        assert as_compiled(fitted).verify(fitted.root_, P)
+
+    def test_compiled_cache_invalidates_on_refit(self, fitted, rng):
+        first = fitted.compiled
+        assert fitted.compiled is first  # cached while root_ unchanged
+        X = rng.normal(size=(80, 5))
+        y = ["p" if r[0] > 0 else "q" for r in X]
+        fitted.fit(Dataset(X, y, [f"f{i}" for i in range(5)]))
+        assert fitted.compiled is not first
+
+
+class TestCoercion:
+    def test_as_compiled_identity(self, fitted):
+        ct = as_compiled(fitted)
+        assert as_compiled(ct) is ct
+
+    def test_as_compiled_from_path(self, fitted, tmp_path):
+        from repro.ml.persistence import save_classifier
+
+        path = tmp_path / "m.json"
+        save_classifier(fitted, path)
+        ct = as_compiled(str(path))
+        assert ct.n_nodes == as_compiled(fitted).n_nodes
+
+    def test_as_compiled_rejects_junk(self):
+        with pytest.raises(DatasetError):
+            as_compiled(42)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            as_compiled(C45Classifier())
+        with pytest.raises(NotFittedError):
+            _ = C45Classifier().compiled
+
+
+class TestShapes:
+    def test_1d_input_promoted(self, fitted):
+        out = as_compiled(fitted).predict_batch(np.zeros(5))
+        assert out.shape == (1,)
+
+    def test_3d_rejected(self, fitted):
+        with pytest.raises(DatasetError):
+            as_compiled(fitted).predict_batch(np.zeros((2, 2, 5)))
+
+    def test_too_narrow_rejected(self, fitted):
+        ct = as_compiled(fitted)
+        if ct.n_features > 0:
+            with pytest.raises(DatasetError):
+                ct.predict_batch(np.zeros((3, ct.n_features - 1)))
+
+
+# ---------------------------------------------------------------- property
+
+
+@st.composite
+def random_trees(draw, n_features=4, max_depth=5):
+    """A random well-formed decision tree over ``n_features`` features."""
+    labels = ["good", "bad-fs", "bad-ma"]
+
+    def build(depth):
+        if depth >= max_depth or draw(st.booleans()):
+            return TreeNode(label=draw(st.sampled_from(labels)))
+        return TreeNode(
+            feature=draw(st.integers(0, n_features - 1)),
+            threshold=draw(st.floats(-2.0, 2.0)),
+            left=build(depth + 1),
+            right=build(depth + 1),
+        )
+
+    return build(0)
+
+
+class TestPropertyEquivalence:
+    @given(tree=random_trees(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_random_tree_random_batch(self, tree, data):
+        n = data.draw(st.integers(1, 40))
+        rows = data.draw(
+            st.lists(
+                st.lists(st.floats(-3.0, 3.0), min_size=4, max_size=4),
+                min_size=n, max_size=n,
+            )
+        )
+        X = np.asarray(rows, dtype=float)
+        ct = CompiledTree.from_tree(tree)
+        assert np.array_equal(ct.predict_batch(X), _recursive(tree, X))
+
+    @given(tree=random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_probes(self, tree):
+        ct = CompiledTree.from_tree(tree)
+        internal = np.flatnonzero(ct.feature >= 0)
+        if internal.size == 0:
+            return
+        X = np.zeros((internal.size, 4))
+        for i, nidx in enumerate(internal):
+            X[i, ct.feature[nidx]] = ct.threshold[nidx]
+        assert np.array_equal(ct.predict_batch(X), _recursive(tree, X))

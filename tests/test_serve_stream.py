@@ -1,0 +1,195 @@
+"""Tests for windowed PMU-sample aggregation (repro.serve.stream) and the
+sampler's streaming mode (PMUSampler.measure_stream)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.training import FEATURES
+from repro.errors import PMUError, ServeError
+from repro.pmu.counters import EventVector
+from repro.pmu.events import NORMALIZER, TABLE2_EVENTS
+from repro.pmu.sampler import PMUSampler
+from repro.serve.stream import WindowAggregator
+from repro.workloads.base import Mode, RunConfig
+from repro.workloads.registry import get_workload
+
+INSTR = NORMALIZER.name
+
+
+def _sample(loads=100.0, instr=1000.0):
+    counts = {e.name: 0.0 for e in TABLE2_EVENTS}
+    counts[INSTR] = instr
+    counts["L1D_Cache_Replacements"] = loads
+    return counts
+
+
+class TestTumbling:
+    def test_grid_and_completion(self):
+        agg = WindowAggregator(window=1.0)
+        assert agg.add("a", 0.1, _sample()) == []
+        assert agg.add("a", 0.9, _sample()) == []
+        done = agg.add("a", 1.0, _sample())  # t=1.0 closes [0, 1)
+        assert len(done) == 1
+        w = done[0]
+        assert (w.source, w.index, w.t_start, w.t_end) == ("a", 0, 0.0, 1.0)
+        assert w.samples == 2
+        assert w.vector.count(NORMALIZER) == 2000.0
+
+    def test_feature_vector_is_normalized(self):
+        agg = WindowAggregator(window=1.0)
+        agg.add("a", 0.2, _sample(loads=300.0, instr=600.0))
+        [w] = agg.add("a", 1.5, _sample(loads=100.0, instr=400.0))
+        i = [e.name for e in FEATURES].index("L1D_Cache_Replacements")
+        assert w.features[i] == pytest.approx(300.0 / 600.0)
+        assert len(w.features) == len(FEATURES)
+
+    def test_gap_skips_windows(self):
+        agg = WindowAggregator(window=1.0)
+        agg.add("a", 0.5, _sample())
+        done = agg.add("a", 5.5, _sample())
+        assert [w.index for w in done] == [0]  # nothing for empty 1..4
+        assert agg.open_windows == 1  # window 5 still open
+
+
+class TestSliding:
+    def test_overlapping_membership(self):
+        # window 2s, slide 1s: t=1.5 belongs to windows [0,2) and [1,3).
+        agg = WindowAggregator(window=2.0, slide=1.0)
+        agg.add("a", 1.5, _sample())
+        assert agg.open_windows == 2
+        done = agg.add("a", 3.0, _sample(instr=500.0))
+        assert [w.index for w in done] == [0, 1]
+        assert done[0].samples == 1
+        assert done[1].samples == 1  # t=3.0 is outside [1,3)
+        # t=3.0 itself sits in [2,4) and [3,5).
+        assert agg.open_windows == 2
+
+    def test_bad_slide_rejected(self):
+        with pytest.raises(ServeError):
+            WindowAggregator(window=1.0, slide=2.0)
+        with pytest.raises(ServeError):
+            WindowAggregator(window=1.0, slide=0.0)
+        with pytest.raises(ServeError):
+            WindowAggregator(window=0.0)
+
+
+class TestSources:
+    def test_sources_are_independent(self):
+        agg = WindowAggregator(window=1.0)
+        agg.add("pid-1", 0.5, _sample(instr=100.0))
+        agg.add("pid-2", 0.5, _sample(instr=900.0))
+        done = agg.add("pid-1", 1.2, _sample())
+        assert [w.source for w in done] == ["pid-1"]
+        assert done[0].vector.count(NORMALIZER) == 100.0
+        assert agg.sources == ["pid-1", "pid-2"]
+
+    def test_out_of_order_within_source_rejected(self):
+        agg = WindowAggregator(window=1.0)
+        agg.add("a", 2.0, _sample())
+        with pytest.raises(ServeError):
+            agg.add("a", 1.0, _sample())
+        agg.add("b", 0.0, _sample())  # other sources unaffected
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ServeError):
+            WindowAggregator(window=1.0).add("a", -0.1, _sample())
+
+
+class TestFlushAndDrop:
+    def test_flush_emits_partials_sorted(self):
+        agg = WindowAggregator(window=1.0)
+        agg.add("b", 0.5, _sample())
+        agg.add("a", 0.5, _sample())
+        out = agg.flush()
+        assert [w.source for w in out] == ["a", "b"]
+        assert agg.open_windows == 0
+        assert agg.flush() == []
+
+    def test_zero_instruction_window_dropped(self):
+        agg = WindowAggregator(window=1.0)
+        counts = {e.name: 0.0 for e in TABLE2_EVENTS}
+        agg.add("idle", 0.5, counts)
+        assert agg.flush() == []
+        assert agg.dropped == 1
+
+    def test_boundary_timestamp_goes_to_next_window(self):
+        # t == window end is outside [0, 1): both samples land in window 1.
+        agg = WindowAggregator(window=1.0)
+        agg.add("a", 1.0, _sample())
+        done = agg.add("a", 1.0, _sample())
+        assert done == []
+        assert agg.open_windows == 1
+
+    def test_add_vector_requires_timestamp(self):
+        agg = WindowAggregator(window=1.0)
+        with pytest.raises(ServeError):
+            agg.add_vector(EventVector(_sample(), meta={"source": "a"}))
+
+
+class TestMeasureStream:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.core.lab import Lab
+
+        lab = Lab(disk_cache=None)
+        w = get_workload("psums")
+        return lab.simulate(
+            w, RunConfig(threads=4, mode=Mode.BAD_FS, size=w.train_sizes[0])
+        )
+
+    def test_noiseless_windows_sum_to_measure(self, run):
+        sampler = PMUSampler(noisy=False)
+        whole = sampler.measure(run, TABLE2_EVENTS)
+        vecs = list(sampler.measure_stream(run, TABLE2_EVENTS, windows=5))
+        assert len(vecs) == 5
+        for e in TABLE2_EVENTS:
+            total = sum(v.count(e) for v in vecs)
+            assert total == pytest.approx(whole.count(e), rel=1e-9)
+
+    def test_meta_shape(self, run):
+        vecs = list(PMUSampler(noisy=False).measure_stream(
+            run, TABLE2_EVENTS, windows=4, source="pid-9", t0=2.0
+        ))
+        assert [v.meta["window"] for v in vecs] == [0, 1, 2, 3]
+        assert all(v.meta["source"] == "pid-9" for v in vecs)
+        assert vecs[0].meta["t_start"] == pytest.approx(2.0)
+        assert vecs[0].meta["t"] == vecs[0].meta["t_end"]
+        assert vecs[-1].meta["t_end"] == pytest.approx(2.0 + run.seconds)
+
+    def test_deterministic_per_run_id(self, run):
+        sampler = PMUSampler(seed=3)
+        a = list(sampler.measure_stream(run, TABLE2_EVENTS, windows=3,
+                                        run_id="x"))
+        b = list(sampler.measure_stream(run, TABLE2_EVENTS, windows=3,
+                                        run_id="x"))
+        c = list(sampler.measure_stream(run, TABLE2_EVENTS, windows=3,
+                                        run_id="y"))
+        for va, vb in zip(a, b):
+            assert va.values == vb.values
+        assert any(va.values != vc.values for va, vc in zip(a, c))
+
+    def test_windows_differ_from_each_other(self, run):
+        vecs = list(PMUSampler().measure_stream(run, TABLE2_EVENTS,
+                                                windows=3, run_id="z"))
+        assert vecs[0].values != vecs[1].values
+
+    def test_aggregator_round_trip(self, run):
+        """measure_stream -> WindowAggregator reproduces the run's windows."""
+        sampler = PMUSampler(noisy=False)
+        agg = WindowAggregator(window=run.seconds / 4)
+        wins = agg.add_stream(sampler.measure_stream(run, TABLE2_EVENTS,
+                                                     windows=4))
+        assert len(wins) == 4
+        assert [w.samples for w in wins] == [1, 1, 1, 1]
+        assert agg.dropped == 0
+
+    def test_bad_args_rejected(self, run):
+        sampler = PMUSampler()
+        with pytest.raises(PMUError):
+            list(sampler.measure_stream(run, TABLE2_EVENTS, windows=0))
+        with pytest.raises(PMUError):
+            list(sampler.measure_stream(run, [], windows=2))
+        with pytest.raises(PMUError):
+            list(sampler.measure_stream(run, [NORMALIZER, NORMALIZER],
+                                        windows=2))
