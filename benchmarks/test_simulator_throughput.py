@@ -1,9 +1,11 @@
 """Bench: simulator throughput and pipeline wall time, tracked over PRs.
 
-Measures (a) raw ``MulticoreMachine`` drive throughput in accesses/second —
-reference loop vs vectorized fast path — on the pinned ``repro-bench``
-trace grid (:func:`repro.telemetry.bench.drive_traces`, the same cases the
-CI perf-regression gate replays), (b) the overhead of the telemetry hooks
+Measures (a) raw ``MulticoreMachine`` drive throughput in accesses/second
+for every drive strategy — reference loop, run-compression, the
+line-partitioned kernel, and the shipping ``auto`` default — on the pinned
+``repro-bench`` trace grid (:func:`repro.telemetry.bench.drive_traces`, the
+same cases the CI perf-regression gate replays), with hard ``speedup_floor``
+checks on the contended traces, (b) the overhead of the telemetry hooks
 in both their disabled (default) and enabled states, and (c) end-to-end
 ``classify_all`` + ``verify_all`` wall time for the pre-optimization
 configuration (serial, reference drive loop, unfiltered oracle) against
@@ -127,10 +129,18 @@ def test_simulator_throughput():
     }
 
     for label, row in payload["drive"].items():
-        # The fast path must never lose (the compression gate guarantees
-        # parity on fragmented traces); allow a little timer noise.
+        # The auto strategy must never lose (its probe routes each segment
+        # to run-compression, the line kernel, or the reference loop);
+        # allow a little timer noise.
         assert (row["fast_accesses_per_s"] * 1.15
                 >= row["ref_accesses_per_s"]), label
+        for strat in ("ref", "runs", "lines"):
+            assert row[f"{strat}_accesses_per_s"] > 0, (label, strat)
+        # Contended traces carry a hard floor: the line kernel must keep
+        # paying off where the paper's signal actually lives.
+        floor = row.get("speedup_floor")
+        if floor:
+            assert row["speedup"] >= floor, (label, row["speedup"], floor)
 
     tree = _mini_tree()
     t_before, labels_before, verdicts_before = _pipeline(

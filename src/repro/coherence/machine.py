@@ -11,11 +11,12 @@ access loop iterates plain Python lists, binds everything it touches to
 locals, and inlines the L1-hit fast path; only misses and upgrades call out
 to helper methods.
 
-The machine ships two drive paths with pinned-identical event semantics:
+The machine ships three drive strategies with pinned-identical event
+semantics (``fast`` selects one; see :meth:`MulticoreMachine.__init__`):
 
-* the **reference path** (``fast=False``): one Python loop over every access
-  — the executable specification;
-* the **fast path** (``fast=True``, default): a numpy pre-screen extracts
+* the **reference loop** (``fast=False`` / ``'ref'``): one Python iteration
+  per access — the executable specification and always-available oracle;
+* the **run-compression path** (``'runs'``): a numpy pre-screen extracts
   cache-line/page columns in one shot and compresses the merged trace into
   maximal runs of adjacent same-core same-line accesses.  Only the leading
   access of each run (the one that can miss, RFO-upgrade, or walk the TLB)
@@ -24,7 +25,17 @@ The machine ships two drive paths with pinned-identical event semantics:
   whose only architectural effects (line-fill-buffer hit accounting, an
   E->M upgrade on the first store, the contender-epoch decay) are computable
   in closed form.  ``tests/test_coherence_fastpath.py`` pins bit-identical
-  tallies between the two paths.
+  tallies against the reference loop;
+* the **line-partitioned kernel** (``'lines'``): stable-sorts the segment by
+  cache line and advances each line's MESI machine over its own access
+  subsequence, so fragmented or contended interleavings (where runs are
+  short and the run-compression path degenerates) still pay per coherence
+  *event* rather than per access.  See :mod:`repro.coherence.linekernel`.
+
+``fast=True`` (the default) resolves to ``'auto'``: a stratified probe
+routes compressible segments to run-compression and fragmented or
+line-churning (contended) segments to the line kernel, with the reference
+loop as the fallback when the line kernel's no-eviction precondition fails.
 """
 
 from __future__ import annotations
@@ -56,9 +67,31 @@ _CONTENTION_EPOCH = 8192
 _FAST_MIN_COMPRESSION = 1.6
 
 #: Accesses inspected to estimate a segment's run-length compression before
-#: committing to the fast path.  Access interleaving is stationary within a
-#: trace, so a prefix probe predicts the whole segment at negligible cost.
+#: committing to a vectorized path.  The probe is *stratified* — up to a
+#: third of the budget each from the segment's head, middle and tail — so a
+#: compressible prefix followed by a contended tail (or vice versa) cannot
+#: fool the gate the way a prefix-only probe could.
 _GATE_PROBE = 65536
+
+#: Minimum churn ratio (fraction of line-domain runs whose line was last
+#: touched by a *different* core within the probe sample) for ``'auto'`` to
+#: route a compressible segment to the line-partitioned kernel anyway: high
+#: churn means coherence events — the run-compression path's scalar slow
+#: path — dominate, which is exactly the regime the line kernel vectorizes.
+_CHURN_ROUTE = 0.25
+
+#: ``'auto'`` also routes to the line kernel when the probe finds at most
+#: this many line-domain runs per stream-domain run: the line kernel's
+#: scalar walk visits line-runs, so a sparser line domain means
+#: proportionally less scalar work than run-compression would do.
+_LINE_RUNS_ROUTE = 0.5
+
+#: Segments smaller than this skip the line kernel under ``'auto'``: its
+#: fixed numpy overhead (sorts, eligibility scan) cannot pay for itself.
+_LINES_MIN = 4096
+
+#: Drive strategies accepted by ``MulticoreMachine(fast=...)``.
+DRIVE_STRATEGIES = ("auto", "runs", "lines", "ref")
 
 
 @dataclass(frozen=True)
@@ -162,6 +195,18 @@ class SimulationResult:
         return self.counts.get(key, 0.0) / instr
 
 
+def _normalize_strategy(fast) -> str:
+    """Map the ``fast`` argument (bool or strategy name) to a strategy."""
+    if fast is True:
+        return "auto"
+    if fast is False:
+        return "ref"
+    if isinstance(fast, str) and fast in DRIVE_STRATEGIES:
+        return fast
+    raise SimulationError(
+        f"fast must be a bool or one of {DRIVE_STRATEGIES}, got {fast!r}")
+
+
 class MulticoreMachine:
     """Trace-driven simulator of a small cache-coherent multiprocessor."""
 
@@ -171,7 +216,7 @@ class MulticoreMachine:
         latency: Optional[LatencyModel] = None,
         prefetch: bool = True,
         hitm_sample_period: int = 0,
-        fast: bool = True,
+        fast: "bool | str" = True,
         fast_min_compression: float = _FAST_MIN_COMPRESSION,
     ) -> None:
         """``hitm_sample_period`` > 0 enables PEBS-style sampling: every
@@ -179,16 +224,20 @@ class MulticoreMachine:
         address, is_write) into ``SimulationResult.hitm_samples`` — the raw
         material of a perf-c2c-style contention report.
 
-        ``fast=False`` selects the per-access reference loop instead of the
-        vectorized run-compressed drive path; both produce identical event
-        tallies (the fast path exists purely for throughput).
+        ``fast`` selects the drive strategy; every strategy produces
+        identical event tallies (the vectorized ones exist purely for
+        throughput).  ``True`` means ``'auto'`` (probe each segment and pick
+        run-compression, the line kernel, or the reference loop), ``False``
+        means ``'ref'``, and the strings in :data:`DRIVE_STRATEGIES` force a
+        specific path — ``'lines'`` still falls back to the reference loop
+        when a segment fails the kernel's no-eviction precondition.
 
-        ``fast_min_compression`` gates the fast path per segment: when the
-        trace's mean run length (accesses per same-core same-line run) falls
-        below it, the pre-screen cannot pay for itself and the segment is
-        driven by the reference loop instead.  Set it to 0.0 to force the
-        vectorized path regardless of compression (used by the equivalence
-        tests)."""
+        ``fast_min_compression`` gates the vectorized paths per segment:
+        when the trace's mean run length (accesses per same-core same-line
+        run) falls below it, run-compression cannot pay for itself and
+        ``'auto'`` tries the line kernel (then the reference loop) instead.
+        Set it to 0.0 to force the run-compression path regardless of
+        compression (used by the equivalence tests)."""
         if hitm_sample_period < 0:
             raise SimulationError("hitm_sample_period must be >= 0")
         self.spec = spec or MachineSpec()
@@ -196,10 +245,20 @@ class MulticoreMachine:
         self.prefetch = prefetch
         self.hitm_sample_period = hitm_sample_period
         self.fast = fast
+        self.strategy = _normalize_strategy(fast)
         self.fast_min_compression = fast_min_compression
-        #: True when the last fast-path segment fell back to the reference
-        #: loop because its compression was below the gate (telemetry).
+        #: True when the last segment fell back to the reference loop
+        #: because its compression was below the gate or the line kernel
+        #: was ineligible (telemetry).
         self._gate_fallback = False
+        #: True when the last forced/auto 'lines' segment was ineligible.
+        self._line_fallback = False
+        #: Per-run path histogram (``{'lines': 3, 'ref-gated': 1}``): which
+        #: strategy actually drove each segment of the most recent
+        #: :meth:`run`/:meth:`run_sliced` call.  Always maintained (one dict
+        #: increment per *segment*) so benchmarks can report the chosen
+        #: strategy without enabling telemetry.
+        self.path_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ run
 
@@ -262,6 +321,7 @@ class MulticoreMachine:
         self._hitm_samples: List[tuple] = []
         self._hitm_seen = 0
         self._cur_addr = -1
+        self.path_counts = {}
         state = _RunState(nt, spec.tlb_entries)
 
         # Slice boundaries over the merged order.
@@ -333,8 +393,8 @@ class MulticoreMachine:
                state: "_RunState") -> "_SegmentTallies":
         """Process one segment of the merged trace against live state.
 
-        Dispatches to the vectorized fast path (default) or the per-access
-        reference loop; the two are pinned bit-identical.
+        Dispatches to the strategy selected at construction (``'auto'``
+        probes each segment); all strategies are pinned bit-identical.
 
         With :data:`repro.telemetry.core.TELEMETRY` enabled, each segment
         records a ``sim.drive`` span (path taken, accesses, accesses/s)
@@ -343,20 +403,16 @@ class MulticoreMachine:
         """
         tel = TELEMETRY
         if not tel.enabled:
-            if self.fast:
-                return self._drive_fast(cores_a, addrs_a, writes_a, state)
-            return self._drive_ref(cores_a, addrs_a, writes_a, state)
+            seg, path = self._drive_dispatch(cores_a, addrs_a, writes_a, state)
+            self.path_counts[path] = self.path_counts.get(path, 0) + 1
+            return seg
         n = int(len(cores_a))
-        self._gate_fallback = False
         t0 = time.perf_counter()
         with tel.span("sim.drive", accesses=n) as sp:
-            if self.fast:
-                seg = self._drive_fast(cores_a, addrs_a, writes_a, state)
-            else:
-                seg = self._drive_ref(cores_a, addrs_a, writes_a, state)
+            seg, path = self._drive_dispatch(
+                cores_a, addrs_a, writes_a, state)
         dt = time.perf_counter() - t0
-        path = ("ref" if not self.fast
-                else ("ref-gated" if self._gate_fallback else "fast"))
+        self.path_counts[path] = self.path_counts.get(path, 0) + 1
         rate = round(n / dt) if dt > 0 else 0
         sp.set(path=path, accesses_per_s=rate)
         tel.count("sim.drive.segments")
@@ -364,6 +420,122 @@ class MulticoreMachine:
         tel.count(f"sim.drive.path.{path}")
         tel.gauge("sim.drive.accesses_per_s", rate)
         return seg
+
+    def _drive_dispatch(self, cores_a, addrs_a, writes_a,
+                        state: "_RunState"):
+        """Run one segment under ``self.strategy``; returns (seg, path).
+
+        ``path`` is the strategy that actually drove the segment:
+        ``'ref'``, ``'runs'``, ``'lines'``, or ``'ref-gated'`` when a
+        vectorized strategy fell back to the reference loop.
+        """
+        strategy = self.strategy
+        self._gate_fallback = False
+        self._line_fallback = False
+        if strategy == "ref":
+            return (self._drive_ref(cores_a, addrs_a, writes_a, state),
+                    "ref")
+        if strategy == "runs":
+            seg = self._drive_fast(cores_a, addrs_a, writes_a, state)
+            return seg, ("ref-gated" if self._gate_fallback else "runs")
+        if strategy == "lines":
+            seg = self._drive_lines(cores_a, addrs_a, writes_a, state)
+            if seg is not None:
+                return seg, "lines"
+            self._line_fallback = True
+            self._gate_fallback = True
+            return (self._drive_ref(cores_a, addrs_a, writes_a, state),
+                    "ref-gated")
+        return self._drive_auto(cores_a, addrs_a, writes_a, state)
+
+    def _drive_auto(self, cores_a, addrs_a, writes_a, state: "_RunState"):
+        """``'auto'``: probe the segment, then pick the cheapest strategy.
+
+        * compressible and low-churn -> run-compression;
+        * compressible but line-churning (contended) -> line kernel, with
+          run-compression as the fallback;
+        * fragmented -> line kernel, with the reference loop as fallback;
+        * tiny segments -> run-compression (the line kernel's fixed numpy
+          overhead cannot pay for itself below :data:`_LINES_MIN`).
+
+        ``fast_min_compression <= 0`` preserves the historical meaning of
+        "force the vectorized path": run-compression runs unconditionally.
+        """
+        min_ratio = self.fast_min_compression
+        n = int(len(cores_a))
+        if min_ratio <= 0.0 or n < _LINES_MIN:
+            seg = self._drive_fast(cores_a, addrs_a, writes_a, state,
+                                   gated=min_ratio > 0.0)
+            return seg, ("ref-gated" if self._gate_fallback else "runs")
+        compression, churn, line_ratio = self._probe_gate(cores_a, addrs_a)
+        if (compression >= min_ratio and churn < _CHURN_ROUTE
+                and line_ratio > _LINE_RUNS_ROUTE):
+            seg = self._drive_fast(cores_a, addrs_a, writes_a, state,
+                                   gated=False)
+            return seg, "runs"
+        seg = self._drive_lines(cores_a, addrs_a, writes_a, state)
+        if seg is not None:
+            return seg, "lines"
+        self._line_fallback = True
+        if compression >= min_ratio:
+            seg = self._drive_fast(cores_a, addrs_a, writes_a, state,
+                                   gated=False)
+            return seg, "runs"
+        self._gate_fallback = True
+        return (self._drive_ref(cores_a, addrs_a, writes_a, state),
+                "ref-gated")
+
+    def _probe_gate(self, cores_a, addrs_a):
+        """Stratified gate probe: ``(compression, churn, line_ratio)``.
+
+        Samples up to ``_GATE_PROBE`` accesses split across the segment's
+        head, middle and tail.  ``compression`` is the mean run length
+        (accesses per same-core same-line run, the run-compression path's
+        payoff); ``churn`` is the fraction of line-domain runs whose line
+        was last touched by a different core within the sample (the line
+        kernel's payoff: every such handoff is a coherence event the
+        run-compression path would execute scalar); ``line_ratio`` is
+        line-domain runs per stream-domain run (how much sparser the line
+        kernel's scalar walk would be).
+        """
+        cores_a = np.asarray(cores_a)
+        addrs_a = np.asarray(addrs_a, dtype=np.int64)
+        n = int(cores_a.size)
+        if n <= _GATE_PROBE:
+            slices = [(0, n)]
+        else:
+            p = _GATE_PROBE // 3
+            mid = (n - p) // 2
+            slices = [(0, p), (mid, mid + p), (n - p, n)]
+        total = 0
+        runs = 0
+        churn = 0
+        lruns = 0
+        for lo, hi in slices:
+            cs = cores_a[lo:hi]
+            ls = addrs_a[lo:hi] >> 6
+            m = int(cs.size)
+            if not m:
+                continue
+            total += m
+            runs += 1 + int(np.count_nonzero(
+                (cs[1:] != cs[:-1]) | (ls[1:] != ls[:-1])))
+            o = np.argsort(ls, kind="stable")
+            lss = ls[o]
+            css = cs[o]
+            lead = (lss[1:] != lss[:-1]) | (css[1:] != css[:-1])
+            lruns += 1 + int(np.count_nonzero(lead))
+            churn += int(np.count_nonzero(lead & (lss[1:] == lss[:-1])))
+        if not runs:
+            return float("inf"), 0.0, 1.0
+        return total / runs, churn / runs, lruns / runs
+
+    def _drive_lines(self, cores_a, addrs_a, writes_a,
+                     state: "_RunState") -> "Optional[_SegmentTallies]":
+        """Line-partitioned kernel; ``None`` when the segment is ineligible."""
+        from repro.coherence.linekernel import drive_lines
+
+        return drive_lines(self, cores_a, addrs_a, writes_a, state)
 
     def _drive_ref(self, cores_a, addrs_a, writes_a,
                    state: "_RunState") -> "_SegmentTallies":
@@ -464,7 +636,8 @@ class MulticoreMachine:
         return seg
 
     def _drive_fast(self, cores_a, addrs_a, writes_a,
-                    state: "_RunState") -> "_SegmentTallies":
+                    state: "_RunState", gated: bool = True,
+                    ) -> "_SegmentTallies":
         """Vectorized fast path: run-compress the trace, scalar-drive leaders.
 
         Line/page extraction and per-core run-length detection happen once in
@@ -473,12 +646,14 @@ class MulticoreMachine:
         access.  A run's leading access executes exactly the reference
         per-access logic; the tail is guaranteed-hit and is retired in O(1)
         (see module docstring for the equivalence argument).
+
+        ``gated=False`` skips the compression probe — used by ``'auto'``,
+        which has already probed the segment.
         """
         lat = self.latency
         ev = _EventTallies()
         nt = len(state.penalty)
         seg = _SegmentTallies(ev, nt)
-        self._gate_fallback = False
         cores_a = np.asarray(cores_a)
         addrs_a = np.asarray(addrs_a, dtype=np.int64)
         writes_a = np.asarray(writes_a, dtype=bool)
@@ -487,16 +662,13 @@ class MulticoreMachine:
             return seg
 
         min_ratio = self.fast_min_compression
-        if min_ratio > 0.0:
-            # Probe a prefix to estimate run-length compression; segments
-            # too fragmented for the pre-screen to pay for itself go to the
+        if gated and min_ratio > 0.0:
+            # Stratified probe (head + middle + tail): segments too
+            # fragmented for the pre-screen to pay for itself go to the
             # reference loop (bit-identical by construction), and the probe
             # keeps that fallback nearly free.
-            p = min(n, _GATE_PROBE)
-            pl = addrs_a[:p] >> 6
-            runs = 1 + int(np.count_nonzero(
-                (cores_a[1:p] != cores_a[:p - 1]) | (pl[1:] != pl[:-1])))
-            if p < min_ratio * runs:
+            compression, _, _ = self._probe_gate(cores_a, addrs_a)
+            if compression < min_ratio:
                 self._gate_fallback = True
                 return self._drive_ref(cores_a, addrs_a, writes_a, state)
 

@@ -66,9 +66,13 @@ class Lab:
     noisy: bool = True
     chunk: int = DEFAULT_CHUNK
     prefetch: bool = True
-    #: False selects the simulator's per-access reference loop; results are
-    #: identical either way (the fast path exists purely for throughput).
-    fast: bool = True
+    #: Drive strategy, forwarded to :class:`MulticoreMachine` (and to worker
+    #: processes by the execution engine): ``True``/``'auto'`` probes each
+    #: segment and picks run-compression or the line-partitioned kernel,
+    #: ``'runs'``/``'lines'`` force one vectorized path, ``False``/``'ref'``
+    #: selects the per-access reference loop.  Results are bit-identical
+    #: under every strategy (the fast ones exist purely for throughput).
+    fast: Union[bool, str] = True
     #: "auto" uses a per-spec pickle under the user cache dir; None disables;
     #: a path uses that file.  Simulations are deterministic, so caching
     #: across processes is safe (delete the file after changing simulator or

@@ -123,16 +123,30 @@ class ExecutionEngine:
 
     Results always come back in task order (``ProcessPoolExecutor.map``
     preserves input order regardless of completion order), and dispatch is
-    chunked so thousands of small cases do not pay per-task IPC overhead.
+    chunked so thousands of small cases do not pay per-task IPC overhead:
+    each worker receives ``max(1, n_tasks // (workers * 4))`` tasks per
+    round trip by default, or exactly ``chunksize`` when one is given
+    (coarser chunks suit grids of many cheap cases, ``chunksize=1`` suits
+    a few expensive ones).
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(self, jobs: Optional[int] = None,
+                 chunksize: Optional[int] = None) -> None:
         if jobs is not None and jobs < 1:
             raise ReproError("jobs must be >= 1")
+        if chunksize is not None and chunksize < 1:
+            raise ReproError("chunksize must be >= 1")
         self.jobs = int(jobs) if jobs is not None else default_jobs()
+        self.chunksize = int(chunksize) if chunksize is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ExecutionEngine(jobs={self.jobs})"
+        return f"ExecutionEngine(jobs={self.jobs}, chunksize={self.chunksize})"
+
+    def _chunksize(self, ntasks: int, workers: int) -> int:
+        """Tasks per worker round trip (explicit override or the 4x rule)."""
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, ntasks // (workers * 4))
 
     def map(self, fn: Callable, tasks: Iterable) -> List:
         """``[fn(t) for t in tasks]``, possibly across processes, in order.
@@ -149,7 +163,7 @@ class ExecutionEngine:
         if self.jobs <= 1 or len(tasks) <= 1:
             return [fn(t) for t in tasks]
         workers = min(self.jobs, len(tasks))
-        chunksize = max(1, len(tasks) // (workers * 4))
+        chunksize = self._chunksize(len(tasks), workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, tasks, chunksize=chunksize))
 
@@ -158,7 +172,7 @@ class ExecutionEngine:
         """``map`` with per-case timing and utilization accounting."""
         serial = self.jobs <= 1 or len(tasks) <= 1
         workers = 1 if serial else min(self.jobs, len(tasks))
-        chunksize = 1 if serial else max(1, len(tasks) // (workers * 4))
+        chunksize = 1 if serial else self._chunksize(len(tasks), workers)
         payloads = [(fn, t) for t in tasks]
         with tel.span("engine.map", fn=getattr(fn, "__name__", str(fn)),
                       tasks=len(tasks), workers=workers,
@@ -225,9 +239,14 @@ class ExecutionEngine:
         cases: Sequence[Tuple],
         chunk: int,
         max_threads: int,
-        fast: bool = True,
+        fast: "bool | str" = True,
     ) -> List[Tuple[int, int, int, int]]:
-        """Oracle counts for ``(program_name, case)`` pairs, in order."""
+        """Oracle counts for ``(program_name, case)`` pairs, in order.
+
+        ``fast`` accepts the shadow detector's vocabulary: a bool, or any
+        simulator drive-strategy string (``'ref'`` disables the numpy
+        prefilter, everything else enables it).
+        """
         tasks = [(name, case, chunk, max_threads, fast)
                  for name, case in cases]
         return self.map(_shadow_task, tasks)

@@ -7,7 +7,9 @@ enabled, and emits:
 * a ``BENCH_simulator.json``-compatible result document (``--output``);
 * a :class:`~repro.telemetry.manifest.RunManifest` next to it
   (``--manifest``) pinning git SHA, seeds, versions and the wall-time tree;
-* optionally a Chrome-trace of the run (``--chrome-trace``).
+* optionally a Chrome-trace of the run (``--chrome-trace``) and a
+  per-strategy speedup table (``--speedup-table``, the CI artifact that
+  tracks how ``ref``/``runs``/``lines``/``auto`` compare per trace).
 
 With ``--baseline`` it compares the fresh numbers against a committed
 baseline and **fails (exit 1) on a throughput regression** beyond
@@ -42,14 +44,30 @@ from repro.telemetry.manifest import RunManifest
 __all__ = [
     "drive_traces",
     "measure_drive",
+    "render_speedup_table",
     "run_bench",
     "compare_payloads",
     "BenchComparison",
     "bench_main",
+    "SPEEDUP_FLOORS",
 ]
 
 #: Fraction of throughput loss tolerated before the gate fails.
 DEFAULT_MAX_REGRESSION = 0.30
+
+#: Drive strategies measured per trace (``'auto'`` is the shipping default
+#: and the one the regression gate keys on via ``fast_accesses_per_s``).
+MEASURED_STRATEGIES = ("ref", "runs", "lines", "auto")
+
+#: Hard per-case speedup floors (auto strategy vs the reference loop) for
+#: the contended traces the line-partitioned kernel targets.  Recorded in
+#: the bench payload as ``speedup_floor`` and enforced *unconditionally* by
+#: :func:`compare_payloads` — unlike throughput, a floored speedup is not
+#: softened by ``--max-regression``.
+SPEEDUP_FLOORS = {
+    "psums/bad-fs/t4": 1.3,
+    "streamcluster/simsmall": 1.3,
+}
 
 #: Drive-grid seed state is fully pinned by the workload registry streams;
 #: this seed tags the manifest (the grid itself takes no free seed).
@@ -90,25 +108,72 @@ def _best_of(fn, repeats: int) -> float:
     return best
 
 
-def measure_drive(repeats: int = 3) -> Dict[str, Dict[str, float]]:
-    """Reference vs fast drive throughput for every pinned trace."""
+def measure_drive(repeats: int = 3) -> Dict[str, Dict[str, Any]]:
+    """Per-strategy drive throughput for every pinned trace.
+
+    Every strategy in :data:`MEASURED_STRATEGIES` is timed on every trace:
+    ``ref`` (per-access loop), ``runs`` (run-compression), ``lines``
+    (line-partitioned kernel) and ``auto`` (the shipping default, which
+    probes each segment).  ``fast_accesses_per_s`` keeps its historical
+    meaning — the default configuration's throughput — so committed
+    baselines gate unchanged; ``strategy`` records the path ``auto``
+    actually took (from :attr:`MulticoreMachine.path_counts`), and
+    contended traces carry their :data:`SPEEDUP_FLOORS` entry.
+    """
     from repro.coherence.machine import MulticoreMachine, SCALED_WESTMERE
 
-    out: Dict[str, Dict[str, float]] = {}
+    out: Dict[str, Dict[str, Any]] = {}
     for label, prog in drive_traces():
         with TELEMETRY.span("bench.drive", trace=label):
             n = int(prog.total_accesses)
-            ref = MulticoreMachine(SCALED_WESTMERE, fast=False)
-            fast = MulticoreMachine(SCALED_WESTMERE, fast=True)
-            t_ref = _best_of(lambda: ref.run(prog), repeats)
-            t_fast = _best_of(lambda: fast.run(prog), repeats)
-        out[label] = {
+            times: Dict[str, float] = {}
+            auto_paths: Dict[str, int] = {}
+            for strat in MEASURED_STRATEGIES:
+                machine = MulticoreMachine(SCALED_WESTMERE, fast=strat)
+                times[strat] = _best_of(lambda: machine.run(prog), repeats)
+                if strat == "auto":
+                    auto_paths = dict(machine.path_counts)
+        chosen = (max(auto_paths, key=lambda p: auto_paths[p])
+                  if auto_paths else "ref")
+        row: Dict[str, Any] = {
             "accesses": n,
-            "ref_accesses_per_s": round(n / t_ref),
-            "fast_accesses_per_s": round(n / t_fast),
-            "speedup": round(t_ref / t_fast, 3),
+            "ref_accesses_per_s": round(n / times["ref"]),
+            "runs_accesses_per_s": round(n / times["runs"]),
+            "lines_accesses_per_s": round(n / times["lines"]),
+            "fast_accesses_per_s": round(n / times["auto"]),
+            "strategy": chosen,
+            "speedup": round(times["ref"] / times["auto"], 3),
         }
+        if label in SPEEDUP_FLOORS:
+            row["speedup_floor"] = SPEEDUP_FLOORS[label]
+        out[label] = row
     return out
+
+
+def render_speedup_table(payload: Dict[str, Any]) -> str:
+    """The per-strategy speedup table (the CI bench job's artifact)."""
+    from repro.utils.tables import render_table
+
+    rows = []
+    for label, row in sorted((payload.get("drive") or {}).items()):
+        rows.append([
+            label,
+            f"{row.get('accesses', 0):,}",
+            f"{row.get('ref_accesses_per_s', 0):,}",
+            f"{row.get('runs_accesses_per_s', 0):,}",
+            f"{row.get('lines_accesses_per_s', 0):,}",
+            f"{row.get('fast_accesses_per_s', 0):,}",
+            str(row.get("strategy", "-")),
+            f"{row.get('speedup', 0):.2f}x",
+            (f"{row['speedup_floor']:.2f}x"
+             if row.get("speedup_floor") else "-"),
+        ])
+    return render_table(
+        ["case", "accesses", "ref acc/s", "runs acc/s", "lines acc/s",
+         "auto acc/s", "auto path", "speedup", "floor"],
+        rows,
+        title="drive strategies (auto speedup vs reference loop)",
+    )
 
 
 def measure_e2e(jobs: Optional[int] = None) -> Dict[str, Any]:  # pragma: no cover - minutes-long
@@ -208,8 +273,13 @@ class BenchComparison:
     def render(self) -> str:
         from repro.utils.tables import render_table
 
+        def fmt(v: float) -> str:
+            # Throughput rows carry acc/s (large); speedup rows carry
+            # small ratios where the decimals are the whole story.
+            return f"{v:,.0f}" if v >= 100 else f"{v:.3f}"
+
         rows = [
-            [r.label, r.metric, f"{r.current:,.0f}", f"{r.baseline:,.0f}",
+            [r.label, r.metric, fmt(r.current), fmt(r.baseline),
              f"{r.ratio:.3f}", "REGRESSED" if r.regressed else "ok"]
             for r in self.rows
         ]
@@ -243,9 +313,12 @@ def compare_payloads(
     both payloads carry it — end-to-end wall time
     (``e2e.parallel_fast_s``, lower is better).  A metric regresses when
     it is worse than the baseline by more than ``max_regression``
-    (fractional).  Baseline labels missing from the current run fail the
-    gate; new labels absent from the baseline are ignored (they gate once
-    the baseline is refreshed).
+    (fractional).  Additionally, any trace carrying a ``speedup_floor``
+    (the contended cases in :data:`SPEEDUP_FLOORS`) must keep its measured
+    ``speedup`` at or above that floor — a hard bound, not softened by
+    ``max_regression``.  Baseline labels missing from the current run fail
+    the gate; new labels absent from the baseline are ignored (they gate
+    once the baseline is refreshed).
     """
     if not 0 <= max_regression < 1:
         raise TelemetryError("max_regression must be in [0, 1)")
@@ -270,6 +343,20 @@ def compare_payloads(
             ratio=round(ratio, 4),
             regressed=ratio < floor,
         ))
+        # Contended-path speedup floors are hard: the recorded floor (from
+        # either payload) gates the current speedup with no tolerance.
+        floor_v = float(base_row.get("speedup_floor")
+                        or cur_row.get("speedup_floor") or 0)
+        if floor_v > 0:
+            cur_s = float(cur_row.get("speedup", 0) or 0)
+            comparison.rows.append(ComparisonRow(
+                label=label,
+                metric="speedup",
+                current=cur_s,
+                baseline=floor_v,
+                ratio=round(cur_s / floor_v, 4),
+                regressed=cur_s < floor_v,
+            ))
     base_e2e = float((baseline.get("e2e") or {}).get("parallel_fast_s", 0) or 0)
     cur_e2e = float((current.get("e2e") or {}).get("parallel_fast_s", 0) or 0)
     if base_e2e > 0 and cur_e2e > 0:
@@ -322,6 +409,9 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--chrome-trace", default="",
                         help="also write a chrome://tracing / Perfetto "
                              "trace of the run")
+    parser.add_argument("--speedup-table", default="",
+                        help="write the per-strategy speedup table (text) "
+                             "here — uploaded as a CI artifact")
     parser.add_argument("-j", "--jobs", type=int, default=0,
                         help="worker processes for the full-mode pipeline")
     args = parser.parse_args(argv)
@@ -374,6 +464,12 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
             for label, row in payload["drive"].items():
                 print(f"  {label:24s} fast {row['fast_accesses_per_s']:>11,} "
                       f"acc/s  (speedup {row['speedup']:.2f}x)")
+
+        if args.speedup_table:
+            table_path = Path(args.speedup_table)
+            table_path.parent.mkdir(parents=True, exist_ok=True)
+            table_path.write_text(render_speedup_table(payload) + "\n")
+            print(f"speedups: {table_path}")
 
         if baseline is None:
             return 0

@@ -1,0 +1,144 @@
+"""Golden equivalence: the line-partitioned kernel vs the reference loop.
+
+The line kernel (``repro.coherence.linekernel``) partitions each segment's
+access stream by cache line and replays every line's MESI state machine
+over its own subsequence, with cross-line counters (DTLB, LFB, L1D sets)
+handled on the unsorted stream.  Its contract is *bit-identical*
+``_SegmentTallies`` against the per-access reference loop — these tests
+pin that over the full 19-program suite grid, the sliced-run API, HITM
+sampling, the final coherence state (cache contents *and* LRU order), and
+the ineligibility fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.machine import (
+    DRIVE_STRATEGIES,
+    MulticoreMachine,
+    SCALED_WESTMERE,
+    SimulationError,
+)
+from repro.suites import all_programs, get_program
+from repro.workloads.base import Mode, RunConfig
+from repro.workloads.registry import get_workload
+
+from tests.conftest import SMALL_SPEC
+
+
+def _assert_identical(res_a, res_b):
+    assert res_a.counts == res_b.counts
+    assert res_a.cycles_per_core == res_b.cycles_per_core
+    assert res_a.instructions_per_core == res_b.instructions_per_core
+    assert res_a.seconds == res_b.seconds
+    assert res_a.hitm_samples == res_b.hitm_samples
+
+
+_GRID = [(p.name, p.cases()[0]) for p in all_programs()]
+
+#: path_counts per grid program, accumulated by the parametrized golden
+#: test and checked for kernel coverage by the summary test below it.
+_GRID_PATHS = {}
+
+
+@pytest.mark.parametrize("name,case", _GRID, ids=[n for n, _ in _GRID])
+def test_line_kernel_matches_reference_on_suite_grid(name, case):
+    prog = get_program(name).trace(case)
+    machine = MulticoreMachine(SCALED_WESTMERE, fast="lines")
+    lines = machine.run(prog)
+    ref = MulticoreMachine(SCALED_WESTMERE, fast=False).run(prog)
+    _assert_identical(lines, ref)
+    _GRID_PATHS[name] = dict(machine.path_counts)
+
+
+def test_line_kernel_drives_most_of_the_grid():
+    # Meaningfulness guard: the grid test above must genuinely exercise
+    # the kernel, not its reference fallback.  (Runs after it in file
+    # order; a filtered run that skipped the grid is skipped too.)
+    if len(_GRID_PATHS) < len(_GRID):
+        pytest.skip("suite-grid golden test did not run")
+    taken = sum(c.get("lines", 0) for c in _GRID_PATHS.values())
+    total = sum(sum(c.values()) for c in _GRID_PATHS.values())
+    assert taken >= total * 0.5, _GRID_PATHS
+
+
+def _contended_trace(size=None):
+    w = get_workload("psums")
+    return w.trace(RunConfig(threads=4, mode=Mode.BAD_FS,
+                             size=size or w.train_sizes[-1]))
+
+
+def _snap(cache):
+    """Cache contents per set, in LRU order (line, state) pairs."""
+    return [list(s.items()) for s in cache.sets]
+
+
+def test_line_kernel_final_state_matches_reference():
+    prog = _contended_trace()
+    ml = MulticoreMachine(SCALED_WESTMERE, fast="lines")
+    mr = MulticoreMachine(SCALED_WESTMERE, fast=False)
+    res_l = ml.run(prog, keep_state=True)
+    res_r = mr.run(prog, keep_state=True)
+    _assert_identical(res_l, res_r)
+    assert ml.path_counts.get("lines", 0) >= 1
+    assert "ref-gated" not in ml.path_counts
+    for cl, cr in zip(ml._l1, mr._l1):
+        assert _snap(cl) == _snap(cr), cl.name
+    for cl, cr in zip(ml._l2, mr._l2):
+        assert _snap(cl) == _snap(cr), cl.name
+    assert _snap(ml._l3) == _snap(mr._l3)
+    assert ml._contenders == mr._contenders
+
+
+def test_line_kernel_sliced_matches_reference():
+    prog = _contended_trace()
+    lines = MulticoreMachine(SCALED_WESTMERE, fast="lines").run_sliced(prog, 5)
+    ref = MulticoreMachine(SCALED_WESTMERE, fast=False).run_sliced(prog, 5)
+    assert len(lines) == len(ref) == 5
+    for res_l, res_r in zip(lines, ref):
+        _assert_identical(res_l, res_r)
+
+
+def test_line_kernel_hitm_sampling_matches_reference():
+    prog = _contended_trace()
+    m = MulticoreMachine(SCALED_WESTMERE, fast="lines", hitm_sample_period=7)
+    lines = m.run(prog)
+    ref = MulticoreMachine(SCALED_WESTMERE, fast=False,
+                           hitm_sample_period=7).run(prog)
+    _assert_identical(lines, ref)
+    assert m.path_counts.get("lines", 0) >= 1
+    assert lines.hitm_samples  # the sweep actually exercised sampling
+
+
+def test_line_kernel_ineligible_segment_falls_back_identically():
+    # 32k distinct lines overflow L2 sets, violating the kernel's
+    # no-eviction precondition; the forced 'lines' strategy must fall back
+    # to the reference loop (recorded as 'ref-gated') and stay identical.
+    w = get_workload("seq_read")
+    prog = w.trace(RunConfig(threads=1, mode=Mode.GOOD, size=32_768))
+    m = MulticoreMachine(SCALED_WESTMERE, fast="lines")
+    res = m.run(prog)
+    assert m.path_counts.get("ref-gated", 0) >= 1
+    assert "lines" not in m.path_counts
+    _assert_identical(res, MulticoreMachine(SCALED_WESTMERE,
+                                            fast=False).run(prog))
+
+
+def test_auto_routes_contended_trace_to_line_kernel():
+    prog = _contended_trace()
+    m = MulticoreMachine(SCALED_WESTMERE, fast=True)
+    res = m.run(prog)
+    assert m.path_counts.get("lines", 0) >= 1
+    _assert_identical(res, MulticoreMachine(SCALED_WESTMERE,
+                                            fast=False).run(prog))
+
+
+def test_strategy_vocabulary_and_validation():
+    assert DRIVE_STRATEGIES == ("auto", "runs", "lines", "ref")
+    for name in DRIVE_STRATEGIES:
+        assert MulticoreMachine(SMALL_SPEC, fast=name).strategy == name
+    assert MulticoreMachine(SMALL_SPEC, fast=True).strategy == "auto"
+    assert MulticoreMachine(SMALL_SPEC, fast=False).strategy == "ref"
+    with pytest.raises(SimulationError):
+        MulticoreMachine(SMALL_SPEC, fast="vectorized")

@@ -45,6 +45,11 @@ CASES = [
 ]
 
 
+def _double(x: int) -> int:
+    """Module-level so worker processes can unpickle it by reference."""
+    return x * 2
+
+
 def _instances_equal(a, b):
     assert len(a) == len(b)
     for x, y in zip(a, b):
@@ -69,6 +74,26 @@ class TestEngine:
             ExecutionEngine(0)
         with pytest.raises(ReproError):
             set_default_jobs(0)
+
+    def test_chunksize_default_and_override(self):
+        # The 4x rule: enough chunks for load balance, few enough that
+        # thousands of small tasks do not pay per-task IPC.
+        eng = ExecutionEngine(4)
+        assert eng.chunksize is None
+        assert eng._chunksize(1000, 4) == 62
+        assert eng._chunksize(3, 4) == 1
+        forced = ExecutionEngine(4, chunksize=7)
+        assert forced.chunksize == 7
+        assert forced._chunksize(1000, 4) == 7
+        with pytest.raises(ReproError):
+            ExecutionEngine(2, chunksize=0)
+
+    @pytest.mark.parametrize("chunksize", [1, 3, 64])
+    def test_map_preserves_order_for_any_chunksize(self, chunksize):
+        # Chunked dispatch must never reorder results relative to tasks.
+        tasks = list(range(23))
+        out = ExecutionEngine(2, chunksize=chunksize).map(_double, tasks)
+        assert out == [t * 2 for t in tasks]
 
     def test_resolve_target_both_kinds(self):
         assert resolve_target("psums") is get_workload("psums")

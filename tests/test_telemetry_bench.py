@@ -215,3 +215,61 @@ def test_cli_run_mode_gates_against_fresh_baseline(tmp_path, monkeypatch):
     out1.write_text(json.dumps(doc))
     assert bench_main(["--smoke", "--output", str(out2),
                        "--baseline", str(out1)]) == 1
+
+
+# ------------------------------------------------- speedup floors / table
+
+
+def test_compare_enforces_speedup_floor_from_baseline():
+    base = _payload()
+    base["drive"]["psums/good/t4"]["speedup_floor"] = 1.3
+    ok = compare_payloads(_payload(), base)
+    assert ok.ok  # current speedup 2.0 clears the 1.3 floor
+    cur = _payload()
+    cur["drive"]["psums/good/t4"]["speedup"] = 1.1
+    bad = compare_payloads(cur, base)
+    assert not bad.ok
+    assert [r.metric for r in bad.regressions] == ["speedup"]
+    # The floor is hard: a huge tolerance must not soften it.
+    still_bad = compare_payloads(cur, base, max_regression=0.9)
+    assert [r.metric for r in still_bad.regressions] == ["speedup"]
+    assert "REGRESSED" in bad.render()
+
+
+def test_compare_floor_carried_by_current_payload_also_gates():
+    # A fresh run records its own floor; gating against a pre-floor
+    # baseline must still enforce it.
+    cur = _payload()
+    cur["drive"]["psums/good/t4"].update(speedup=1.0, speedup_floor=1.3)
+    bad = compare_payloads(cur, _payload())
+    assert [r.metric for r in bad.regressions] == ["speedup"]
+
+
+def test_render_speedup_table_lists_every_strategy():
+    from repro.telemetry.bench import render_speedup_table
+
+    payload = _payload()
+    payload["drive"]["psums/good/t4"].update(
+        runs_accesses_per_s=900_000, lines_accesses_per_s=1_100_000,
+        strategy="lines", speedup_floor=1.3)
+    table = render_speedup_table(payload)
+    for col in ("ref acc/s", "runs acc/s", "lines acc/s", "auto acc/s",
+                "auto path", "floor"):
+        assert col in table
+    assert "psums/good/t4" in table and "lines" in table
+    assert "1.30x" in table and "2.00x" in table
+
+
+def test_cli_run_mode_writes_speedup_table(tmp_path, monkeypatch):
+    monkeypatch.setattr(bench_mod, "drive_traces", _tiny_traces)
+    out = tmp_path / "result.json"
+    table = tmp_path / "speedups.txt"
+    assert bench_main(["--smoke", "--output", str(out),
+                       "--speedup-table", str(table)]) == 0
+    text = table.read_text()
+    assert "tiny/t1" in text and "auto path" in text
+    payload = json.loads(out.read_text())
+    row = payload["drive"]["tiny/t1"]
+    for strat in ("ref", "runs", "lines", "fast"):
+        assert row[f"{strat}_accesses_per_s"] > 0
+    assert row["strategy"] in ("runs", "lines", "ref", "ref-gated")

@@ -121,7 +121,7 @@ def test_drive_spans_and_counters_describe_the_run():
     spans = [s for s in TELEMETRY.spans if s.name == "sim.drive"]
     assert spans
     for sp in spans:
-        assert sp.attrs["path"] in ("fast", "ref", "ref-gated")
+        assert sp.attrs["path"] in ("runs", "lines", "ref", "ref-gated")
         assert sp.attrs["accesses"] > 0
         assert sp.attrs["accesses_per_s"] > 0
     c = TELEMETRY.counters
@@ -143,12 +143,22 @@ def test_drive_reference_machine_records_ref_path():
 
 def test_drive_gate_fallback_recorded_as_ref_gated():
     TELEMETRY.enable(reset=True)
-    MulticoreMachine(SCALED_WESTMERE, fast=True).run(_fragmented_trace())
+    # Force run-compression: its gate rejects the fragmented trace
+    # (compression ~1) and the fallback must be recorded as 'ref-gated'.
+    # (Under 'auto' this trace routes to the line kernel instead.)
+    MulticoreMachine(SCALED_WESTMERE, fast="runs").run(_fragmented_trace())
     c = TELEMETRY.counters
     assert c.get("sim.drive.path.ref-gated", 0) >= 1
     gated = [s for s in TELEMETRY.spans
              if s.name == "sim.drive" and s.attrs.get("path") == "ref-gated"]
     assert gated
+
+
+def test_drive_line_kernel_recorded_as_lines():
+    TELEMETRY.enable(reset=True)
+    MulticoreMachine(SCALED_WESTMERE, fast="lines").run(_psums_trace(12_000))
+    c = TELEMETRY.counters
+    assert c.get("sim.drive.path.lines", 0) == c["sim.drive.segments"]
 
 
 # ------------------------------------------------------------ engine.map
