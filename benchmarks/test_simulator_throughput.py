@@ -37,7 +37,13 @@ from repro.core.training import (
 )
 from repro.experiments.context import PipelineContext
 from repro.parallel import default_jobs
-from repro.telemetry.bench import drive_traces, measure_drive
+from repro.telemetry.bench import (
+    ROUTING_FLOOR,
+    drive_traces,
+    measure_drive,
+    measure_routing,
+    measure_store_workers,
+)
 from repro.telemetry.core import TELEMETRY
 from repro.workloads.base import Mode
 
@@ -124,9 +130,17 @@ def test_simulator_throughput():
         "cpus": os.cpu_count(),
         "jobs": default_jobs(),
         "drive": measure_drive(repeats=3),
+        "routing": measure_routing(),
+        "store_workers": measure_store_workers(),
         "telemetry": _telemetry_overhead(),
         "e2e": {},
     }
+
+    # The routing-coverage floor is hard: ≥95% of the 19-program grid's
+    # accesses must leave the scalar reference loop under 'auto'.
+    routing = payload["routing"]
+    assert routing["coverage"] >= ROUTING_FLOOR, routing
+    assert payload["store_workers"]["worker_peak_rss_kib"]
 
     for label, row in payload["drive"].items():
         # The auto strategy must never lose (its probe routes each segment

@@ -13,20 +13,35 @@ with vectorized numpy passes.
 
 Why this is exact (see DESIGN.md for the full argument):
 
-* **Line-local state.**  Under the no-L2-eviction / no-L3-eviction
-  precondition (checked per segment before committing), a line's L2-level
-  MESI evolution depends only on that line's own access subsequence — and it
-  is independent of L1 hit/miss outcomes, because a read leaves the state
-  unchanged either way and a write on Shared takes the same bus upgrade
-  whether it hit L1 or reached L2.  Only *counters* split on the L1 outcome,
-  and that split is a pure per-access classification over (L1 hit?, L2
-  state, is-write) resolved vectorized at the end.
-* **L1 victim tracking.**  L1 evictions are allowed (the precondition does
-  not cover them).  Each (core, L1 set) is an isolated LRU domain whose
-  events are that core's accesses mapping to the set plus the
-  back-invalidations emitted by the line walk; replaying those few events
-  through a dict — with maximal same-line blocks collapsed, which is
-  LRU-exact — reproduces hits, misses and the final LRU order bit for bit.
+* **Line-local state.**  For lines whose L2 sets never evict, a line's
+  L2-level MESI evolution depends only on that line's own access
+  subsequence — and it is independent of L1 hit/miss outcomes, because a
+  read leaves the state unchanged either way and a write on Shared takes
+  the same bus upgrade whether it hit L1 or reached L2.  Only *counters*
+  split on the L1 outcome, and that split is a pure per-access
+  classification over (L1 hit?, L2 state, is-write) resolved vectorized at
+  the end.
+* **Eviction-aware per-set replay.**  L2 sets that *would* overflow no
+  longer disqualify the whole segment.  Lines touched by exactly one core,
+  held nowhere else, and mapping to an overfull set are *replay-owned*:
+  their L2 behaviour (hit/miss, LRU position, eviction, writeback) is
+  reproduced by a per-set dict replay joined with the L1 replay, with the
+  whole block of accesses between leaders batched — in particular the
+  S->M-free upgrade batching: a replay-owned line's state after a block is
+  ``M`` iff the block wrote, computed once per block instead of per access.
+  Every *other* touched line in an overfull set is installed as a sentinel;
+  if the replay would ever evict a sentinel (i.e. the walk's
+  no-eviction model would be violated for a shared/multi-core line) the
+  kernel bails out before mutating any state and the caller falls back.
+  Untouched residents of overfull sets carry their real state and are
+  freely evictable — the reference would evict them identically.
+* **L1 victim tracking.**  L1 evictions are always allowed.  Each
+  (core, L1 set) is an isolated LRU domain whose events are that core's
+  accesses mapping to the set plus the back-invalidations emitted by the
+  line walk (plus L1 back-invalidations of L2 replay victims); replaying
+  those few events through a dict — with maximal same-line blocks
+  collapsed, which is LRU-exact — reproduces hits, misses and the final
+  LRU order bit for bit.
 * **Cross-line counters.**  DTLB walks and the line-fill-buffer window
   depend on per-core access order, not on lines: the DTLB replays page-run
   leaders through the real LRU dicts, and the LFB hit-window is resolved
@@ -36,10 +51,13 @@ Why this is exact (see DESIGN.md for the full argument):
   access index and a single ordered Python walk performs the same
   ``penalty[c] += ...`` sequence the reference loop would (adding 0.0 for
   the skipped no-penalty accesses would be an identity, so they are simply
-  absent).
+  absent).  When the caller threads a shared tally block through several
+  segments (:meth:`MulticoreMachine.run_stream`), the stall accumulators
+  are seeded from it so the addition sequence continues across segments.
 
-``drive_lines`` returns ``None`` when the segment is ineligible (it would
-evict in some L2 set or in L3); the caller falls back to another strategy.
+``drive_lines`` returns ``None`` when the segment is ineligible (the L3
+would evict, or an overfull L2 set would have to evict a line the scalar
+walk owns); the caller falls back to another strategy.
 ``tests/test_coherence_linekernel.py`` pins bit-identical results against
 the reference loop over the full 19-program suite grid.
 """
@@ -47,13 +65,19 @@ the reference loop over the full 19-program suite grid.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.coherence.protocol import EXCLUSIVE, MODIFIED, SHARED
 
 __all__ = ["drive_lines"]
+
+#: Replay-dict marker for walk-owned lines living in an overfull L2 set:
+#: their MESI state is tracked by the scalar walk, the dict only tracks
+#: their LRU position — and evicting one invalidates the walk's model, so
+#: the kernel bails instead.
+_SENT = -1
 
 
 def _fits_without_eviction(cache, touched: np.ndarray) -> bool:
@@ -74,11 +98,35 @@ def _fits_without_eviction(cache, touched: np.ndarray) -> bool:
     return True
 
 
-def drive_lines(machine, cores_a, addrs_a, writes_a, state):
+def _overfull_sets(cache, touched: np.ndarray) -> Optional[np.ndarray]:
+    """Boolean mask of sets that would evict, or ``None`` when none would.
+
+    A set is overfull when its touched lines plus its untouched residents
+    exceed the associativity — the same per-set budget
+    :func:`_fits_without_eviction` checks, reported per set instead of as a
+    single verdict so the kernel can switch just those sets to dict replay.
+    """
+    nsets = cache.nsets
+    si = (touched & cache.mask) if cache.mask else (touched % nsets)
+    occ = np.bincount(si, minlength=nsets)
+    assoc = cache.assoc
+    over = occ > assoc
+    tset = set(touched.tolist())
+    for idx, s in enumerate(cache.sets):
+        if s and not over[idx]:
+            extra = sum(1 for ln in s if ln not in tset)
+            if extra and int(occ[idx]) + extra > assoc:
+                over[idx] = True
+    return over if over.any() else None
+
+
+def drive_lines(machine, cores_a, addrs_a, writes_a, state, seg=None):
     """Drive one segment with the line-partitioned kernel.
 
     Returns a ``_SegmentTallies`` bit-identical to ``_drive_ref``'s, or
-    ``None`` when the segment is ineligible for this strategy.
+    ``None`` when the segment is ineligible for this strategy.  When
+    ``seg`` is given, tallies accumulate into it; nothing is written to it
+    (or to any machine/run state) before the last bail-out point.
     """
     from repro.coherence.machine import (
         _CONTENTION_EPOCH,
@@ -93,8 +141,9 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
     addrs_a = np.asarray(addrs_a, dtype=np.int64)
     writes_a = np.asarray(writes_a, dtype=bool)
     n = int(cores_a.size)
-    ev = _EventTallies()
-    seg = _SegmentTallies(ev, nt)
+    if seg is None:
+        seg = _SegmentTallies(_EventTallies(), nt)
+    ev = seg.ev
     if n == 0:
         return seg
     lines_g = addrs_a >> 6
@@ -113,15 +162,13 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
     r_line_a = sl[rstart]
     r_core_a = sc[rstart]
 
-    # ---- eligibility: no L2 set and no L3 set may ever evict -------------
+    # ---- eligibility + ownership classification --------------------------
     # Touched lines come straight from the run leaders (already line-major),
     # so no full-array unique scans are needed.
     nl = np.empty(nruns, dtype=bool)
     nl[0] = True
     nl[1:] = r_line_a[1:] != r_line_a[:-1]
     uniq_all = r_line_a[nl]
-    if not _fits_without_eviction(machine._l3, uniq_all):
-        return None
     l2_objs = machine._l2
     pord = np.lexsort((r_line_a, r_core_a))
     pl = r_line_a[pord]
@@ -131,11 +178,78 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
     keep[1:] = (pl[1:] != pl[:-1]) | (pc[1:] != pc[:-1])
     pl = pl[keep]
     pc = pc[keep]
+    # Overfull L2 sets per core: those switch to dict replay instead of
+    # disqualifying the segment.  Their current residents join the L3
+    # budget below because dirty victims are written back into L3.
+    evict_flags: List[Optional[np.ndarray]] = [None] * nt
+    evict_residents: List[np.ndarray] = []
     for c in range(nt):
         touched_c = pl[pc == c]
-        if touched_c.size and not _fits_without_eviction(
-                l2_objs[c], touched_c):
-            return None
+        if not touched_c.size:
+            continue
+        over = _overfull_sets(l2_objs[c], touched_c)
+        if over is not None:
+            evict_flags[c] = over
+            for sidx in np.flatnonzero(over).tolist():
+                s = l2_objs[c].sets[sidx]
+                if s:
+                    evict_residents.append(
+                        np.fromiter(s, dtype=np.int64, count=len(s)))
+    have_evict = any(f is not None for f in evict_flags)
+    l3_budget = uniq_all
+    if evict_residents:
+        l3_budget = np.unique(np.concatenate([uniq_all] + evict_residents))
+    if not _fits_without_eviction(machine._l3, l3_budget):
+        return None
+
+    # Replay-owned lines: touched by exactly one core, mapping to one of
+    # that core's overfull sets, held by no other core, and not Shared at
+    # the owner (a Shared line's first write takes the bus — walk it).
+    touched_set: set = set()
+    replay_set: set = set()
+    replay_all = np.empty(0, dtype=np.int64)
+    if have_evict:
+        touched_set = set(uniq_all.tolist())
+        line_pos = np.searchsorted(uniq_all, pl)
+        tcount = np.bincount(line_pos, minlength=uniq_all.size)
+        owner = np.empty(uniq_all.size, dtype=np.int64)
+        owner[line_pos] = pc
+        single = tcount == 1
+        resident_map: List[Dict[int, int]] = [{} for _ in range(nt)]
+        for o in range(nt):
+            m = resident_map[o]
+            for s in l2_objs[o].sets:
+                m.update(s)
+        rep_parts: List[np.ndarray] = []
+        for c in range(nt):
+            flags2 = evict_flags[c]
+            if flags2 is None:
+                continue
+            l2c = l2_objs[c]
+            si_all = ((uniq_all & l2c.mask) if l2c.mask
+                      else (uniq_all % l2c.nsets))
+            cand = single & (owner == c) & flags2[si_all]
+            if not cand.any():
+                continue
+            cl = uniq_all[cand]
+            blocked = set()
+            for o in range(nt):
+                if o == c:
+                    blocked.update(ln for ln, s0 in resident_map[c].items()
+                                   if s0 == SHARED)
+                else:
+                    blocked.update(resident_map[o])
+            if blocked:
+                barr = np.fromiter(blocked, dtype=np.int64,
+                                   count=len(blocked))
+                cl = cl[~np.isin(cl, barr)]
+            if cl.size:
+                rep_parts.append(cl)
+        if rep_parts:
+            replay_all = (rep_parts[0] if len(rep_parts) == 1
+                          else np.unique(np.concatenate(rep_parts)))
+            replay_set = set(replay_all.tolist())
+
     core_idx: List[np.ndarray] = [
         np.flatnonzero(cores_a == c) for c in range(nt)]
     pos_idx = np.arange(n, dtype=np.int64)
@@ -150,8 +264,19 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
     r_fw = fw.tolist()
     r_fwg = fwg.tolist()
     rstart_l = rstart.tolist()
+    if replay_all.size:
+        replay_acc = np.isin(lines_g, replay_all)
+        walk_runs = np.flatnonzero(
+            ~np.isin(r_line_a, replay_all)).tolist()
+    else:
+        replay_acc = None
+        walk_runs = range(nruns)
 
     # ---- phase A: scalar walk over runs, one line at a time --------------
+    #
+    # Replay-owned lines are skipped entirely: single-core, holder-less
+    # lines generate no coherence events, and their L2 behaviour (including
+    # evictions) is reproduced by the joint replay below.
     #
     # Contender-epoch windows: the reference loop clears the contender map
     # whenever its countdown hits zero, i.e. at global indices
@@ -193,7 +318,7 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
     cmask = 0
     cwid = 0
 
-    for i in range(nruns):
+    for i in walk_runs:
         line = r_line[i]
         c = r_core[i]
         if line != cur_line:
@@ -337,6 +462,181 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
         if cmask:
             cmask_final[cur_line] = (cwid, cmask)
 
+    # ---- joint L1/L2 replay: per-(core, set) LRU over collapsed blocks ---
+    #
+    # Pure phase: everything below operates on copies; the only exit that
+    # leaves this function before the mutation phases is the sentinel bail.
+    l1m_g = np.zeros(n, dtype=bool)
+    rm_g_a = np.array(rm_g, dtype=np.int64)
+    rm_c_a = np.array(rm_c, dtype=np.int64)
+    rm_line_a = np.array(rm_line, dtype=np.int64)
+    l1_objs = machine._l1
+    last_l2g: Dict[Tuple[int, int], int] = {}
+    final_l1: List[List[dict]] = [[] for _ in range(nt)]
+    walked_l1 = [False] * nt
+    rp_l2hit: List[int] = []    # g of L1-miss L2-hits on replay-owned lines
+    rp_ms_g: List[int] = []     # replay-owned L2 misses (holder-less)
+    rp_ms_c: List[int] = []
+    rp_ms_w: List[bool] = []
+    rp_ms_line: List[int] = []
+    wb_g: List[int] = []        # dirty L2 victims -> L3 inserts
+    wb_line: List[int] = []
+    n_out_clean = 0
+    n_out_dirty = 0
+    d2_final: Dict[Tuple[int, int], dict] = {}
+    for c in range(nt):
+        idx_c = core_idx[c]
+        rsel = np.flatnonzero(rm_c_a == c)
+        if not idx_c.size and not rsel.size:
+            continue
+        walked_l1[c] = True
+        lines_c = lines_g[idx_c]
+        g_all = np.concatenate([idx_c, rm_g_a[rsel]])
+        ln_all = np.concatenate([lines_c, rm_line_a[rsel]])
+        kind = np.concatenate([np.zeros(idx_c.size, dtype=np.int8),
+                               np.ones(rsel.size, dtype=np.int8)])
+        o2 = np.argsort(g_all)
+        g_all = g_all[o2]
+        ln_all = ln_all[o2]
+        kind = kind[o2]
+        # Block leaders: collapse maximal same-line access blocks (the tail
+        # of a block only re-marks an already-MRU line — LRU-exact).
+        lead = np.empty(g_all.size, dtype=bool)
+        lead[0] = True
+        lead[1:] = ((kind[1:] == 1) | (kind[:-1] == 1)
+                    | (ln_all[1:] != ln_all[:-1]))
+        sel = np.flatnonzero(lead)
+        ge = g_all[sel].tolist()
+        le = ln_all[sel].tolist()
+        ke = kind[sel].tolist()
+        l1c = l1_objs[c]
+        mask = l1c.mask
+        nsets = l1c.nsets
+        assoc = l1c.assoc
+        sets_c = [dict.fromkeys(s) for s in l1c.sets]
+        misses: List[int] = []
+        flags2 = evict_flags[c]
+        if flags2 is None:
+            for gg, ln, kd in zip(ge, le, ke):
+                d = sets_c[(ln & mask) if mask else (ln % nsets)]
+                if kd:
+                    d.pop(ln, None)
+                elif ln in d:
+                    del d[ln]
+                    d[ln] = None
+                else:
+                    misses.append(gg)
+                    last_l2g[(c, ln)] = gg
+                    if len(d) >= assoc:
+                        del d[next(iter(d))]
+                    d[ln] = None
+        else:
+            # Evicting core: L2 sets flagged overfull replay through dicts
+            # seeded from the live cache; a block that wrote leaves a
+            # replay-owned line Modified (the S->M upgrade batching — the
+            # E->M transition is silent, so one flag per block suffices).
+            w_all = np.concatenate([
+                writes_a[idx_c], np.zeros(rsel.size, dtype=bool)])[o2]
+            wcum = np.zeros(g_all.size + 1, dtype=np.int64)
+            np.cumsum(w_all, out=wcum[1:])
+            ends = np.append(sel[1:], g_all.size)
+            bw = ((wcum[ends] - wcum[sel]) > 0).tolist()
+            we = w_all[sel].tolist()
+            l2c = l2_objs[c]
+            mask2 = l2c.mask
+            nsets2 = l2c.nsets
+            assoc2 = l2c.assoc
+            d2_map: Dict[int, dict] = {}
+            for sidx in np.flatnonzero(flags2).tolist():
+                # Residents: walk-owned touched lines become sentinels
+                # (their state lives in the walk); replay-owned lines keep
+                # their real state (E/M by construction — Shared-at-owner
+                # lines are never replay-owned) so hits, upgrades and
+                # dirty evictions replay exactly; untouched residents keep
+                # their state and are freely evictable.
+                d2_map[sidx] = {
+                    ln: (_SENT if (ln in touched_set
+                                   and ln not in replay_set) else s0)
+                    for ln, s0 in l2c.sets[sidx].items()}
+            for j, (gg, ln, kd) in enumerate(zip(ge, le, ke)):
+                s1i = (ln & mask) if mask else (ln % nsets)
+                s2i = (ln & mask2) if mask2 else (ln % nsets2)
+                d = sets_c[s1i]
+                if kd:
+                    d.pop(ln, None)
+                    if flags2[s2i]:
+                        d2_map[s2i].pop(ln, None)
+                    continue
+                if ln in d:
+                    del d[ln]
+                    d[ln] = None
+                    if flags2[s2i] and bw[j]:
+                        # E->M on an L1 hit updates L2 state in place
+                        # (set_state does not touch LRU order).
+                        d2 = d2_map[s2i]
+                        v = d2.get(ln)
+                        if v is not None and v != _SENT:
+                            d2[ln] = MODIFIED
+                    continue
+                misses.append(gg)
+                if flags2[s2i]:
+                    d2 = d2_map[s2i]
+                    v = d2.get(ln)
+                    if v is not None:
+                        # L2 hit: MRU; replay-owned lines also classify
+                        # the miss for the counter passes below.
+                        del d2[ln]
+                        if v == _SENT:
+                            d2[ln] = _SENT
+                        else:
+                            d2[ln] = MODIFIED if bw[j] else v
+                            rp_l2hit.append(gg)
+                    else:
+                        # L2 miss: install (possibly evicting the LRU way).
+                        if len(d2) >= assoc2:
+                            vic = next(iter(d2))
+                            vs = d2.pop(vic)
+                            if vs == _SENT:
+                                return None  # walk-owned victim: bail
+                            if vs == MODIFIED:
+                                n_out_dirty += 1
+                                wb_g.append(gg)
+                                wb_line.append(vic)
+                            else:
+                                n_out_clean += 1
+                            sets_c[(vic & mask) if mask
+                                   else (vic % nsets)].pop(vic, None)
+                        if ln in replay_set:
+                            d2[ln] = MODIFIED if bw[j] else EXCLUSIVE
+                            rp_ms_g.append(gg)
+                            rp_ms_c.append(c)
+                            rp_ms_w.append(we[j])
+                            rp_ms_line.append(ln)
+                        else:
+                            # Walk-owned: the walk already emitted its
+                            # demand event; the dict only tracks LRU.
+                            d2[ln] = _SENT
+                else:
+                    last_l2g[(c, ln)] = gg
+                if len(d) >= assoc:
+                    del d[next(iter(d))]
+                d[ln] = None
+            for sidx, d2 in d2_map.items():
+                d2_final[(c, sidx)] = d2
+        if misses:
+            l1m_g[np.array(misses, dtype=np.int64)] = True
+        final_l1[c] = sets_c
+    if rp_ms_g:
+        nrp = len(rp_ms_g)
+        ms_g.extend(rp_ms_g)
+        ms_c.extend(rp_ms_c)
+        ms_w.extend(rp_ms_w)
+        ms_best.extend([0] * nrp)
+        ms_resp.extend([-1] * nrp)
+        ms_k.extend([0] * nrp)
+        ms_same.extend([False] * nrp)
+        ms_line.extend(rp_ms_line)
+
     # ---- phase B: prefetch flags for L2 misses (per core, in g order) ----
     nms = len(ms_g)
     ms_g_a = np.array(ms_g, dtype=np.int64)
@@ -377,10 +677,12 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
     l3 = machine._l3
     l3_present: Dict[int, bool] = {}
     l3_last: Dict[int, int] = {}
+    l3_ord = 0
     l3_hits = 0
     l3_misses = 0
     ms_raw = np.zeros(nms, dtype=np.float64)
     ms_weff = np.zeros(nms, dtype=bool)
+    nwb = len(wb_g)
     if nms:
         # Contended HITM penalties, vectorized with the reference formulas.
         hitm_mask = ms_best_a == MODIFIED
@@ -394,18 +696,37 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
         ms_weff = ms_w_a.copy()
         ms_weff[ms_pref] = False
         # L3 queries: only holder-less, non-prefetched misses reach L3;
-        # HITM services insert on the way through the uncore.
+        # HITM services and dirty replay victims insert on the way through
+        # the uncore.  Victim writebacks happen *after* the same access's
+        # demand query (the reference installs the line, then evicts), so
+        # the merge key is (g, query-before-writeback).
         ml_l = ms_line_a.tolist()
         mg_l = ms_g_a.tolist()
         mb_l = ms_best_a.tolist()
         mp_l = ms_pref.tolist()
+        if nwb:
+            all_g = np.concatenate([ms_g_a,
+                                    np.array(wb_g, dtype=np.int64)])
+            all_seq = np.concatenate([np.zeros(nms, dtype=np.int8),
+                                      np.ones(nwb, dtype=np.int8)])
+            eo = np.lexsort((all_seq, all_g)).tolist()
+        else:
+            eo = range(nms)
         l3q_raw: List[Tuple[int, float]] = []  # (flat ms index, raw penalty)
-        for j in range(nms):
+        for f in eo:
+            if f >= nms:
+                ln = wb_line[f - nms]
+                l3_present[ln] = True
+                l3_last[ln] = l3_ord
+                l3_ord += 1
+                continue
+            j = f
             bj = mb_l[j]
             ln = ml_l[j]
             if bj == MODIFIED:
                 l3_present[ln] = True
-                l3_last[ln] = mg_l[j]
+                l3_last[ln] = l3_ord
+                l3_ord += 1
             elif bj == 0 and not mp_l[j]:
                 present = l3_present.get(ln)
                 if present is None:
@@ -417,66 +738,10 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
                     l3_misses += 1
                     l3q_raw.append((j, lat.memory))
                     l3_present[ln] = True
-                l3_last[ln] = mg_l[j]
+                l3_last[ln] = l3_ord
+                l3_ord += 1
         for j, raw in l3q_raw:
             ms_raw[j] = raw
-
-    # ---- L1 victim tracking: per-(core, set) LRU replay ------------------
-    l1m_g = np.zeros(n, dtype=bool)
-    rm_g_a = np.array(rm_g, dtype=np.int64)
-    rm_c_a = np.array(rm_c, dtype=np.int64)
-    rm_line_a = np.array(rm_line, dtype=np.int64)
-    l1_objs = machine._l1
-    last_l2g: Dict[Tuple[int, int], int] = {}
-    final_l1: List[List[dict]] = [[] for _ in range(nt)]
-    walked_l1 = [False] * nt
-    for c in range(nt):
-        idx_c = core_idx[c]
-        rsel = np.flatnonzero(rm_c_a == c)
-        if not idx_c.size and not rsel.size:
-            continue
-        walked_l1[c] = True
-        lines_c = lines_g[idx_c]
-        g_all = np.concatenate([idx_c, rm_g_a[rsel]])
-        ln_all = np.concatenate([lines_c, rm_line_a[rsel]])
-        kind = np.concatenate([np.zeros(idx_c.size, dtype=np.int8),
-                               np.ones(rsel.size, dtype=np.int8)])
-        o2 = np.argsort(g_all)
-        g_all = g_all[o2]
-        ln_all = ln_all[o2]
-        kind = kind[o2]
-        # Block leaders: collapse maximal same-line access blocks (the tail
-        # of a block only re-marks an already-MRU line — LRU-exact).
-        lead = np.empty(g_all.size, dtype=bool)
-        lead[0] = True
-        lead[1:] = ((kind[1:] == 1) | (kind[:-1] == 1)
-                    | (ln_all[1:] != ln_all[:-1]))
-        sel = np.flatnonzero(lead)
-        ge = g_all[sel].tolist()
-        le = ln_all[sel].tolist()
-        ke = kind[sel].tolist()
-        l1c = l1_objs[c]
-        mask = l1c.mask
-        nsets = l1c.nsets
-        assoc = l1c.assoc
-        sets_c = [dict.fromkeys(s) for s in l1c.sets]
-        misses: List[int] = []
-        for gg, ln, kd in zip(ge, le, ke):
-            d = sets_c[(ln & mask) if mask else (ln % nsets)]
-            if kd:
-                d.pop(ln, None)
-            elif ln in d:
-                del d[ln]
-                d[ln] = None
-            else:
-                misses.append(gg)
-                last_l2g[(c, ln)] = gg
-                if len(d) >= assoc:
-                    del d[next(iter(d))]
-                d[ln] = None
-        if misses:
-            l1m_g[np.array(misses, dtype=np.int64)] = True
-        final_l1[c] = sets_c
 
     # ---- DTLB: page-run leaders through the real LRU dicts ---------------
     n_dtlb = 0
@@ -489,10 +754,10 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
         if not idx_c.size:
             continue
         pages_c = addrs_a[idx_c] >> 12
-        pl = np.empty(pages_c.size, dtype=bool)
-        pl[0] = True
-        pl[1:] = pages_c[1:] != pages_c[:-1]
-        sel = np.flatnonzero(pl)
+        pg = np.empty(pages_c.size, dtype=bool)
+        pg[0] = True
+        pg[1:] = pages_c[1:] != pages_c[:-1]
+        sel = np.flatnonzero(pg)
         tg = idx_c[sel].tolist()
         tp = pages_c[sel].tolist()
         tw = writes_a[idx_c[sel]].tolist()
@@ -518,39 +783,54 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
     st2_g = np.empty(n, dtype=np.int8)
     st2_g[order] = st2s
 
-    l2res = st2_g > 0
-    s_state = st2_g == SHARED
+    if replay_acc is not None:
+        # st2 is undefined for replay-owned accesses (the walk skipped
+        # them); their L2 residency comes from the replay instead, and
+        # their state is never Shared (holder-less lines install E/M).
+        l2res = st2_g > 0
+        l2res &= ~replay_acc
+        if rp_l2hit:
+            l2res[np.array(rp_l2hit, dtype=np.int64)] = True
+        s_state = st2_g == SHARED
+        s_state &= ~replay_acc
+    else:
+        l2res = st2_g > 0
+        s_state = st2_g == SHARED
     ld_l2hit = l1m_g & l2res & ~writes_a
     wr_l2hit = l1m_g & l2res & writes_a
     wr_l2hit_em = wr_l2hit & ~s_state
-    ev.l2_ld_hit = int(np.count_nonzero(ld_l2hit))
-    ev.l2_rqsts_rfo_hit = int(np.count_nonzero(wr_l2hit))
-    ev.l2_rfo_hit_s = int(np.count_nonzero(wr_l2hit & s_state))
-    seg.n_rfo_s = int(np.count_nonzero(~l1m_g & writes_a & s_state))
+    ev.l2_ld_hit += int(np.count_nonzero(ld_l2hit))
+    ev.l2_rqsts_rfo_hit += int(np.count_nonzero(wr_l2hit))
+    ev.l2_rfo_hit_s += int(np.count_nonzero(wr_l2hit & s_state))
+    seg.n_rfo_s += int(np.count_nonzero(~l1m_g & writes_a & s_state))
 
     up_best_a = np.array(up_best, dtype=np.int64)
-    ev.snoop_hit = (int(np.count_nonzero(ms_best_a == SHARED))
-                    + int(np.count_nonzero(up_best_a == SHARED)))
-    ev.snoop_hite = int(np.count_nonzero(ms_best_a == EXCLUSIVE))
+    ev.snoop_hit += (int(np.count_nonzero(ms_best_a == SHARED))
+                     + int(np.count_nonzero(up_best_a == SHARED)))
+    ev.snoop_hite += int(np.count_nonzero(ms_best_a == EXCLUSIVE))
     hitm_n = int(np.count_nonzero(ms_best_a == MODIFIED))
-    ev.snoop_hitm = hitm_n
-    ev.hitm_socket_remote = int(np.count_nonzero(
+    ev.snoop_hitm += hitm_n
+    ev.hitm_socket_remote += int(np.count_nonzero(
         (ms_best_a == MODIFIED) & ~ms_same_a))
     np_pref = int(np.count_nonzero(ms_pref))
-    ev.prefetch_hits = np_pref
-    ev.l2_demand_i = nms
-    ev.l2_fill = nms
+    ev.prefetch_hits += np_pref
+    ev.l2_demand_i += nms
+    ev.l2_fill += nms
     dem = ~ms_pref
-    ev.l2_rqsts_rfo_miss = int(np.count_nonzero(dem & ms_w_a))
-    ev.offcore_rfo = ev.l2_rqsts_rfo_miss
-    ev.l2_ld_miss = int(np.count_nonzero(dem & ~ms_w_a))
-    ev.offcore_rd = ev.l2_ld_miss
-    ev.l2_lines_in_s = int(np.count_nonzero(dem & ~ms_w_a & (ms_best_a > 0)))
-    ev.l2_lines_in_e = np_pref + int(np.count_nonzero(
+    n_rfo_miss = int(np.count_nonzero(dem & ms_w_a))
+    ev.l2_rqsts_rfo_miss += n_rfo_miss
+    ev.offcore_rfo += n_rfo_miss
+    n_ld_miss = int(np.count_nonzero(dem & ~ms_w_a))
+    ev.l2_ld_miss += n_ld_miss
+    ev.offcore_rd += n_ld_miss
+    ev.l2_lines_in_s += int(np.count_nonzero(dem & ~ms_w_a & (ms_best_a > 0)))
+    ev.l2_lines_in_e += np_pref + int(np.count_nonzero(
         dem & ~ms_w_a & (ms_best_a == 0)))
-    ev.l3_hit = l3_hits
-    ev.l3_miss = l3_misses
-    ev.writebacks = writebacks
+    ev.l3_hit += l3_hits
+    ev.l3_miss += l3_misses
+    ev.writebacks += writebacks + n_out_dirty
+    ev.l2_lines_out_dirty += n_out_dirty
+    ev.l2_lines_out_clean += n_out_clean
 
     # ---- LFB hit-window (per core, vectorized epoch argument) ------------
     n_hit_lfb = 0
@@ -622,8 +902,8 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
         np.zeros(wrem_g.size, dtype=np.int8)])
     po = np.lexsort((pe_seq, pe_g))
     pen = seg.penalty
-    stall_load = 0.0
-    stall_store = 0.0
+    stall_load = ev.stall_load
+    stall_store = ev.stall_store
     for c, add, raw, kd in zip(pe_c[po].tolist(), pe_eff[po].tolist(),
                                pe_raw[po].tolist(), pe_kind[po].tolist()):
         pen[c] += add
@@ -650,6 +930,7 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
     # ---- final-state reconstruction --------------------------------------
     # L2: removals first, in-place state updates next (neither reorders),
     # then LRU moves in last-touch order (touch/fill happen at L1 misses).
+    # Overfull sets are rebuilt wholesale from their replay dicts instead.
     moves: List[List[Tuple[int, int, int]]] = [[] for _ in range(nt)]
     for (c, ln), gg in last_l2g.items():
         f = line_final[ln][c]
@@ -658,6 +939,9 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
     for ln, fin in line_final.items():
         init = init_sts[ln]
         for c in range(nt):
+            flags2 = evict_flags[c]
+            if flags2 is not None and flags2[l2_objs[c].index(ln)]:
+                continue
             f = fin[c]
             if f == init[c]:
                 continue
@@ -674,7 +958,11 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
             s = l2c.sets[l2c.index(ln)]
             s.pop(ln, None)
             s[ln] = f
-    # L3: presence only grows; order by last touch/insert.
+    for (c, sidx), d2 in d2_final.items():
+        l2_objs[c].sets[sidx] = OrderedDict(
+            (ln, (line_final[ln][c] if v == _SENT else v))
+            for ln, v in d2.items())
+    # L3: presence only grows; order by insertion/touch sequence.
     if l3_last:
         for ln, _ in sorted(l3_last.items(), key=lambda kv: kv[1]):
             s = l3.sets[l3.index(ln)]
@@ -713,11 +1001,14 @@ def drive_lines(machine, cores_a, addrs_a, writes_a, state):
     machine._cur_addr = -1
 
     # ---- whole-segment tallies -------------------------------------------
-    seg.accesses = np.bincount(cores_a, minlength=nt).tolist()
-    seg.n_writes = int(np.count_nonzero(writes_a))
-    seg.n_reads = n - seg.n_writes
-    seg.n_dtlb = n_dtlb
-    seg.n_dtlb_st = n_dtlb_st
-    seg.n_l1_miss = int(np.count_nonzero(l1m_g))
-    seg.n_hit_lfb = n_hit_lfb
+    acc = seg.accesses
+    for c, cnt in enumerate(np.bincount(cores_a, minlength=nt).tolist()):
+        acc[c] += cnt
+    nw = int(np.count_nonzero(writes_a))
+    seg.n_writes += nw
+    seg.n_reads += n - nw
+    seg.n_dtlb += n_dtlb
+    seg.n_dtlb_st += n_dtlb_st
+    seg.n_l1_miss += int(np.count_nonzero(l1m_g))
+    seg.n_hit_lfb += n_hit_lfb
     return seg

@@ -54,7 +54,12 @@ from repro.errors import SimulationError
 from repro.memory.layout import LINE_SIZE
 from repro.telemetry.core import TELEMETRY
 from repro.trace.access import ProgramTrace
-from repro.trace.streams import DEFAULT_CHUNK, interleave
+from repro.trace.streams import (
+    DEFAULT_CHUNK,
+    DEFAULT_SEGMENT,
+    interleave,
+    interleave_stream,
+)
 
 #: Accesses between resets of the per-line contender bitmasks.
 _CONTENTION_EPOCH = 8192
@@ -259,6 +264,11 @@ class MulticoreMachine:
         #: increment per *segment*) so benchmarks can report the chosen
         #: strategy without enabling telemetry.
         self.path_counts: Dict[str, int] = {}
+        #: Same histogram weighted by *accesses* instead of segments — the
+        #: routing-coverage metric ``repro-bench`` gates on (a single huge
+        #: segment and a trivial one count the same in ``path_counts`` but
+        #: differ by orders of magnitude here).
+        self.path_accesses: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ run
 
@@ -295,12 +305,9 @@ class MulticoreMachine:
         """
         if n_slices < 1:
             raise SimulationError("n_slices must be >= 1")
-        spec = self.spec
         nt = program.nthreads
-        if nt > spec.cores:
-            raise SimulationError(
-                f"program has {nt} threads but machine has {spec.cores} cores"
-            )
+        self._setup_run(nt)
+        state = _RunState(nt, self.spec.tlb_entries)
 
         merged = interleave(program, chunk=chunk)
         cores_a = merged.core
@@ -308,7 +315,68 @@ class MulticoreMachine:
         writes_a = merged.is_write
         total = int(cores_a.size)
 
-        # Per-core structures persist across slices.
+        # Slice boundaries over the merged order.
+        bounds = [round(i * total / n_slices) for i in range(n_slices + 1)]
+
+        results: List[SimulationResult] = []
+        for s_i in range(n_slices):
+            lo, hi = bounds[s_i], bounds[s_i + 1]
+            seg = self._drive(
+                cores_a[lo:hi], addrs_a[lo:hi], writes_a[lo:hi], state,
+            )
+            results.append(self._slice_result(program, seg, s_i, n_slices))
+
+        # Samples belong to the whole run; attach them to the last slice's
+        # result as well as every slice (cheap shared reference).
+        for res in results:
+            res.hitm_samples = self._hitm_samples
+        # Free the big structures before returning (unless a test wants
+        # to inspect the final coherence state).
+        if not keep_state:
+            del self._l1, self._l2, self._l3, self._nt, self._contenders
+        return results
+
+    def run_stream(
+        self,
+        program: ProgramTrace,
+        chunk: int = DEFAULT_CHUNK,
+        max_accesses: int = DEFAULT_SEGMENT,
+        keep_state: bool = False,
+    ) -> SimulationResult:
+        """Simulate ``program`` by streaming bounded merged segments.
+
+        Bit-identical to :meth:`run`: segments come from
+        :func:`~repro.trace.streams.interleave_stream` (whose concatenation
+        is exactly the monolithic merge) and every segment accumulates into
+        one shared tally block, continuing the reference loop's accumulation
+        sequence — penalties and stall cycles are order-sensitive IEEE sums,
+        so the continuation is what makes the equality *bitwise*, not just
+        approximate.  The point is memory: a GB-scale memmap-backed trace
+        drives end-to-end while only ``max_accesses`` merged rows (plus the
+        cache structures) are ever resident.
+        """
+        nt = program.nthreads
+        self._setup_run(nt)
+        state = _RunState(nt, self.spec.tlb_entries)
+        ev = _EventTallies()
+        seg = _SegmentTallies(ev, nt)
+        for piece in interleave_stream(program, chunk=chunk,
+                                       max_accesses=max_accesses):
+            self._drive(piece.core, piece.addr, piece.is_write, state,
+                        seg=seg)
+        result = self._slice_result(program, seg, 0, 1)
+        result.hitm_samples = self._hitm_samples
+        if not keep_state:
+            del self._l1, self._l2, self._l3, self._nt, self._contenders
+        return result
+
+    def _setup_run(self, nt: int) -> None:
+        """Fresh per-run coherence structures (persist across slices)."""
+        spec = self.spec
+        if nt > spec.cores:
+            raise SimulationError(
+                f"program has {nt} threads but machine has {spec.cores} cores"
+            )
         self._l1 = [SetAssociativeCache(spec.l1_lines, spec.l1_assoc,
                                         f"L1-{c}") for c in range(nt)]
         self._l2 = [SetAssociativeCache(spec.l2_lines, spec.l2_assoc,
@@ -322,79 +390,68 @@ class MulticoreMachine:
         self._hitm_seen = 0
         self._cur_addr = -1
         self.path_counts = {}
-        state = _RunState(nt, spec.tlb_entries)
+        self.path_accesses = {}
 
-        # Slice boundaries over the merged order.
-        bounds = [round(i * total / n_slices) for i in range(n_slices + 1)]
-        ipa = [t.instr_per_access for t in program.threads]
-        extra = [t.extra_instructions for t in program.threads]
-        n_acc = [t.n_accesses for t in program.threads]
-
-        results: List[SimulationResult] = []
-        for s_i in range(n_slices):
-            lo, hi = bounds[s_i], bounds[s_i + 1]
-            seg = self._drive(
-                cores_a[lo:hi], addrs_a[lo:hi], writes_a[lo:hi], state,
-            )
-            # Attribute instructions to the slice by the accesses each
-            # thread completed in it (spin extras spread proportionally).
-            instr = []
-            for c in range(nt):
-                share = seg.accesses[c]
-                frac = share / n_acc[c] if n_acc[c] else 0.0
-                instr.append(int(round(share * ipa[c] + frac * extra[c])))
-            cycles = [i * spec.base_cpi + p
-                      for i, p in zip(instr, seg.penalty)]
-            seconds = (max(cycles) / (spec.freq_ghz * 1e9)) if cycles else 0.0
-            counts = seg.ev.as_dict()
-            counts.update({
-                "INST_RETIRED.ANY": float(sum(instr)),
-                "CPU_CLK_UNHALTED.CORE": float(sum(cycles)),
-                "MEM_INST_RETIRED.LOADS": float(seg.n_reads),
-                "MEM_INST_RETIRED.STORES": float(seg.n_writes),
-                "DTLB_MISSES.ANY": float(seg.n_dtlb),
-                "MEM_STORE_RETIRED.DTLB_MISS": float(seg.n_dtlb_st),
-                "L1D.REPL": float(seg.n_l1_miss),
-                "L1D_CACHE_LD": float(seg.n_reads),
-                "L1D_CACHE_ST": float(seg.n_writes),
-                "MEM_LOAD_RETIRED.L1D_HIT": float(
-                    max(0, seg.n_reads - seg.n_l1_miss)),
-                "MEM_LOAD_RETIRED.HIT_LFB": float(seg.n_hit_lfb),
-                "L2_WRITE.RFO.S_STATE": float(
-                    seg.n_rfo_s + seg.ev.l2_rfo_hit_s),
-            })
-            counts.update(_derive_counts(counts, seg.ev))
-            meta = dict(program.meta)
-            if n_slices > 1:
-                meta.update({"slice": s_i, "n_slices": n_slices})
-            results.append(SimulationResult(
-                counts=counts,
-                cycles_per_core=cycles,
-                instructions_per_core=instr,
-                seconds=seconds,
-                nthreads=nt,
-                spec=spec,
-                name=(program.name if n_slices == 1
-                      else f"{program.name}#s{s_i}"),
-                meta=meta,
-            ))
-
-        # Samples belong to the whole run; attach them to the last slice's
-        # result as well as every slice (cheap shared reference).
-        for res in results:
-            res.hitm_samples = self._hitm_samples
-        # Free the big structures before returning (unless a test wants
-        # to inspect the final coherence state).
-        if not keep_state:
-            del self._l1, self._l2, self._l3, self._nt, self._contenders
-        return results
+    def _slice_result(self, program: ProgramTrace, seg: "_SegmentTallies",
+                      s_i: int, n_slices: int) -> SimulationResult:
+        """Build one slice's :class:`SimulationResult` from its tallies."""
+        spec = self.spec
+        nt = program.nthreads
+        # Attribute instructions to the slice by the accesses each
+        # thread completed in it (spin extras spread proportionally).
+        instr = []
+        for c in range(nt):
+            t = program.threads[c]
+            share = seg.accesses[c]
+            frac = share / t.n_accesses if t.n_accesses else 0.0
+            instr.append(int(round(share * t.instr_per_access
+                                   + frac * t.extra_instructions)))
+        cycles = [i * spec.base_cpi + p
+                  for i, p in zip(instr, seg.penalty)]
+        seconds = (max(cycles) / (spec.freq_ghz * 1e9)) if cycles else 0.0
+        counts = seg.ev.as_dict()
+        counts.update({
+            "INST_RETIRED.ANY": float(sum(instr)),
+            "CPU_CLK_UNHALTED.CORE": float(sum(cycles)),
+            "MEM_INST_RETIRED.LOADS": float(seg.n_reads),
+            "MEM_INST_RETIRED.STORES": float(seg.n_writes),
+            "DTLB_MISSES.ANY": float(seg.n_dtlb),
+            "MEM_STORE_RETIRED.DTLB_MISS": float(seg.n_dtlb_st),
+            "L1D.REPL": float(seg.n_l1_miss),
+            "L1D_CACHE_LD": float(seg.n_reads),
+            "L1D_CACHE_ST": float(seg.n_writes),
+            "MEM_LOAD_RETIRED.L1D_HIT": float(
+                max(0, seg.n_reads - seg.n_l1_miss)),
+            "MEM_LOAD_RETIRED.HIT_LFB": float(seg.n_hit_lfb),
+            "L2_WRITE.RFO.S_STATE": float(
+                seg.n_rfo_s + seg.ev.l2_rfo_hit_s),
+        })
+        counts.update(_derive_counts(counts, seg.ev))
+        meta = dict(program.meta)
+        if n_slices > 1:
+            meta.update({"slice": s_i, "n_slices": n_slices})
+        return SimulationResult(
+            counts=counts,
+            cycles_per_core=cycles,
+            instructions_per_core=instr,
+            seconds=seconds,
+            nthreads=nt,
+            spec=spec,
+            name=(program.name if n_slices == 1
+                  else f"{program.name}#s{s_i}"),
+            meta=meta,
+        )
 
     def _drive(self, cores_a, addrs_a, writes_a,
-               state: "_RunState") -> "_SegmentTallies":
+               state: "_RunState",
+               seg: "Optional[_SegmentTallies]" = None) -> "_SegmentTallies":
         """Process one segment of the merged trace against live state.
 
         Dispatches to the strategy selected at construction (``'auto'``
         probes each segment); all strategies are pinned bit-identical.
+        When ``seg`` is given, tallies accumulate into it instead of a
+        fresh block — :meth:`run_stream` threads one block through every
+        segment so floats continue the monolithic accumulation order.
 
         With :data:`repro.telemetry.core.TELEMETRY` enabled, each segment
         records a ``sim.drive`` span (path taken, accesses, accesses/s)
@@ -402,17 +459,20 @@ class MulticoreMachine:
         only cost is the single ``enabled`` attribute check below.
         """
         tel = TELEMETRY
-        if not tel.enabled:
-            seg, path = self._drive_dispatch(cores_a, addrs_a, writes_a, state)
-            self.path_counts[path] = self.path_counts.get(path, 0) + 1
-            return seg
         n = int(len(cores_a))
+        if not tel.enabled:
+            seg, path = self._drive_dispatch(cores_a, addrs_a, writes_a,
+                                             state, seg)
+            self.path_counts[path] = self.path_counts.get(path, 0) + 1
+            self.path_accesses[path] = self.path_accesses.get(path, 0) + n
+            return seg
         t0 = time.perf_counter()
         with tel.span("sim.drive", accesses=n) as sp:
             seg, path = self._drive_dispatch(
-                cores_a, addrs_a, writes_a, state)
+                cores_a, addrs_a, writes_a, state, seg)
         dt = time.perf_counter() - t0
         self.path_counts[path] = self.path_counts.get(path, 0) + 1
+        self.path_accesses[path] = self.path_accesses.get(path, 0) + n
         rate = round(n / dt) if dt > 0 else 0
         sp.set(path=path, accesses_per_s=rate)
         tel.count("sim.drive.segments")
@@ -422,7 +482,8 @@ class MulticoreMachine:
         return seg
 
     def _drive_dispatch(self, cores_a, addrs_a, writes_a,
-                        state: "_RunState"):
+                        state: "_RunState",
+                        seg: "Optional[_SegmentTallies]" = None):
         """Run one segment under ``self.strategy``; returns (seg, path).
 
         ``path`` is the strategy that actually drove the segment:
@@ -433,22 +494,24 @@ class MulticoreMachine:
         self._gate_fallback = False
         self._line_fallback = False
         if strategy == "ref":
-            return (self._drive_ref(cores_a, addrs_a, writes_a, state),
+            return (self._drive_ref(cores_a, addrs_a, writes_a, state, seg),
                     "ref")
         if strategy == "runs":
-            seg = self._drive_fast(cores_a, addrs_a, writes_a, state)
+            seg = self._drive_fast(cores_a, addrs_a, writes_a, state,
+                                   seg=seg)
             return seg, ("ref-gated" if self._gate_fallback else "runs")
         if strategy == "lines":
-            seg = self._drive_lines(cores_a, addrs_a, writes_a, state)
-            if seg is not None:
-                return seg, "lines"
+            out = self._drive_lines(cores_a, addrs_a, writes_a, state, seg)
+            if out is not None:
+                return out, "lines"
             self._line_fallback = True
             self._gate_fallback = True
-            return (self._drive_ref(cores_a, addrs_a, writes_a, state),
+            return (self._drive_ref(cores_a, addrs_a, writes_a, state, seg),
                     "ref-gated")
-        return self._drive_auto(cores_a, addrs_a, writes_a, state)
+        return self._drive_auto(cores_a, addrs_a, writes_a, state, seg)
 
-    def _drive_auto(self, cores_a, addrs_a, writes_a, state: "_RunState"):
+    def _drive_auto(self, cores_a, addrs_a, writes_a, state: "_RunState",
+                    seg: "Optional[_SegmentTallies]" = None):
         """``'auto'``: probe the segment, then pick the cheapest strategy.
 
         * compressible and low-churn -> run-compression;
@@ -464,25 +527,25 @@ class MulticoreMachine:
         min_ratio = self.fast_min_compression
         n = int(len(cores_a))
         if min_ratio <= 0.0 or n < _LINES_MIN:
-            seg = self._drive_fast(cores_a, addrs_a, writes_a, state,
-                                   gated=min_ratio > 0.0)
-            return seg, ("ref-gated" if self._gate_fallback else "runs")
+            out = self._drive_fast(cores_a, addrs_a, writes_a, state,
+                                   gated=min_ratio > 0.0, seg=seg)
+            return out, ("ref-gated" if self._gate_fallback else "runs")
         compression, churn, line_ratio = self._probe_gate(cores_a, addrs_a)
         if (compression >= min_ratio and churn < _CHURN_ROUTE
                 and line_ratio > _LINE_RUNS_ROUTE):
-            seg = self._drive_fast(cores_a, addrs_a, writes_a, state,
-                                   gated=False)
-            return seg, "runs"
-        seg = self._drive_lines(cores_a, addrs_a, writes_a, state)
-        if seg is not None:
-            return seg, "lines"
+            out = self._drive_fast(cores_a, addrs_a, writes_a, state,
+                                   gated=False, seg=seg)
+            return out, "runs"
+        out = self._drive_lines(cores_a, addrs_a, writes_a, state, seg)
+        if out is not None:
+            return out, "lines"
         self._line_fallback = True
         if compression >= min_ratio:
-            seg = self._drive_fast(cores_a, addrs_a, writes_a, state,
-                                   gated=False)
-            return seg, "runs"
+            out = self._drive_fast(cores_a, addrs_a, writes_a, state,
+                                   gated=False, seg=seg)
+            return out, "runs"
         self._gate_fallback = True
-        return (self._drive_ref(cores_a, addrs_a, writes_a, state),
+        return (self._drive_ref(cores_a, addrs_a, writes_a, state, seg),
                 "ref-gated")
 
     def _probe_gate(self, cores_a, addrs_a):
@@ -531,14 +594,18 @@ class MulticoreMachine:
         return total / runs, churn / runs, lruns / runs
 
     def _drive_lines(self, cores_a, addrs_a, writes_a,
-                     state: "_RunState") -> "Optional[_SegmentTallies]":
+                     state: "_RunState",
+                     seg: "Optional[_SegmentTallies]" = None,
+                     ) -> "Optional[_SegmentTallies]":
         """Line-partitioned kernel; ``None`` when the segment is ineligible."""
         from repro.coherence.linekernel import drive_lines
 
-        return drive_lines(self, cores_a, addrs_a, writes_a, state)
+        return drive_lines(self, cores_a, addrs_a, writes_a, state, seg)
 
     def _drive_ref(self, cores_a, addrs_a, writes_a,
-                   state: "_RunState") -> "_SegmentTallies":
+                   state: "_RunState",
+                   seg: "Optional[_SegmentTallies]" = None,
+                   ) -> "_SegmentTallies":
         """Reference path: one Python iteration per access (the spec)."""
         cores_l = (cores_a.tolist() if isinstance(cores_a, np.ndarray)
                    else list(cores_a))
@@ -547,8 +614,9 @@ class MulticoreMachine:
         writes_l = (writes_a.tolist() if isinstance(writes_a, np.ndarray)
                     else list(writes_a))
         lat = self.latency
-        ev = _EventTallies()
-        seg = _SegmentTallies(ev, len(state.penalty))
+        if seg is None:
+            seg = _SegmentTallies(_EventTallies(), len(state.penalty))
+        ev = seg.ev
 
         l1_masks = [c.mask for c in self._l1]
         if self._l1 and self._l1[0].nsets > 1 and l1_masks[0] == 0:
@@ -626,17 +694,18 @@ class MulticoreMachine:
 
         state.decay_countdown = decay_countdown
         self._cur_addr = -1
-        seg.n_dtlb = n_dtlb
-        seg.n_dtlb_st = n_dtlb_st
-        seg.n_l1_miss = n_l1_miss
-        seg.n_hit_lfb = n_hit_lfb
-        seg.n_rfo_s = n_rfo_s
-        seg.n_writes = n_writes
-        seg.n_reads = len(cores_l) - n_writes
+        seg.n_dtlb += n_dtlb
+        seg.n_dtlb_st += n_dtlb_st
+        seg.n_l1_miss += n_l1_miss
+        seg.n_hit_lfb += n_hit_lfb
+        seg.n_rfo_s += n_rfo_s
+        seg.n_writes += n_writes
+        seg.n_reads += len(cores_l) - n_writes
         return seg
 
     def _drive_fast(self, cores_a, addrs_a, writes_a,
                     state: "_RunState", gated: bool = True,
+                    seg: "Optional[_SegmentTallies]" = None,
                     ) -> "_SegmentTallies":
         """Vectorized fast path: run-compress the trace, scalar-drive leaders.
 
@@ -651,9 +720,10 @@ class MulticoreMachine:
         which has already probed the segment.
         """
         lat = self.latency
-        ev = _EventTallies()
         nt = len(state.penalty)
-        seg = _SegmentTallies(ev, nt)
+        if seg is None:
+            seg = _SegmentTallies(_EventTallies(), nt)
+        ev = seg.ev
         cores_a = np.asarray(cores_a)
         addrs_a = np.asarray(addrs_a, dtype=np.int64)
         writes_a = np.asarray(writes_a, dtype=bool)
@@ -670,7 +740,8 @@ class MulticoreMachine:
             compression, _, _ = self._probe_gate(cores_a, addrs_a)
             if compression < min_ratio:
                 self._gate_fallback = True
-                return self._drive_ref(cores_a, addrs_a, writes_a, state)
+                return self._drive_ref(cores_a, addrs_a, writes_a, state,
+                                       seg)
 
         lines_a = addrs_a >> 6
         # Run boundaries: a new run whenever the core or the line changes.
@@ -694,9 +765,11 @@ class MulticoreMachine:
         av = memoryview(addrs_a)
 
         # Whole-segment counters that never depend on hit/miss outcomes.
-        seg.accesses = np.bincount(cores_a, minlength=nt).tolist()
-        seg.n_writes = n_writes
-        seg.n_reads = n - n_writes
+        acc = seg.accesses
+        for c, cnt in enumerate(np.bincount(cores_a, minlength=nt).tolist()):
+            acc[c] += cnt
+        seg.n_writes += n_writes
+        seg.n_reads += n - n_writes
 
         r_cores = cores_a[starts].tolist()
         r_addrs = addrs_a[starts].tolist()
@@ -842,11 +915,11 @@ class MulticoreMachine:
 
         state.decay_countdown = decay_countdown
         self._cur_addr = -1
-        seg.n_dtlb = n_dtlb
-        seg.n_dtlb_st = n_dtlb_st
-        seg.n_l1_miss = n_l1_miss
-        seg.n_hit_lfb = n_hit_lfb
-        seg.n_rfo_s = n_rfo_s
+        seg.n_dtlb += n_dtlb
+        seg.n_dtlb_st += n_dtlb_st
+        seg.n_l1_miss += n_l1_miss
+        seg.n_hit_lfb += n_hit_lfb
+        seg.n_rfo_s += n_rfo_s
         return seg
 
     # ---------------------------------------------------------------- slow paths

@@ -170,6 +170,38 @@ class Lab:
             self.flush()
         return result
 
+    def simulate_store(self, path: Union[str, Path],
+                       stream: bool = True) -> SimulationResult:
+        """Run (or fetch from cache) the simulation of a persisted trace.
+
+        ``path`` names a program store written by
+        :func:`repro.trace.store.save_program`.  The cache key is the
+        store's **content digest**, read from the header in O(1): renamed
+        or copied files hit the same entry, and a regenerated trace with
+        different bytes misses regardless of its name.  The default
+        ``stream=True`` drives the trace off the memmap through the
+        streaming merge, so multi-GB stores never materialize a merged
+        copy; ``stream=False`` uses the monolithic drive (identical
+        results — the streamed path is bit-exact by construction).
+        """
+        from repro.trace.store import open_program, open_store
+
+        digest = open_store(path).digest
+        key = ("store", digest, self.chunk)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        program = open_program(path)
+        if stream:
+            result = self._machine.run_stream(program, chunk=self.chunk)
+        else:
+            result = self._machine.run(program, chunk=self.chunk)
+        self._cache[key] = result
+        self._dirty += 1
+        if self._dirty >= 25:
+            self.flush()
+        return result
+
     def measure(
         self,
         workload,

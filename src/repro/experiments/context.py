@@ -245,6 +245,44 @@ class PipelineContext:
             instructions=hit[3], nthreads=case.threads,
         )
 
+    def shadow_report_store(self, path) -> ShadowReport:
+        """Oracle counts for a persisted trace store, cached by digest.
+
+        The cache key is the store's content digest (header field, O(1) to
+        read), so the entry survives renames and copies and misses when the
+        trace bytes change — the same contract as
+        :meth:`repro.core.lab.Lab.simulate_store`.
+        """
+        from repro.trace.store import open_store
+
+        store = open_store(path)
+        key = ("store", store.digest, self.lab.chunk)
+        hit = self._shadow_cache.get(key)
+        if hit is not None and not _valid_shadow_entry(hit):
+            log.warning("shadow cache entry for %s is mangled; recomputing",
+                        key)
+            TELEMETRY.count("shadow.cache.dropped_entries")
+            del self._shadow_cache[key]
+            hit = None
+        if hit is None:
+            TELEMETRY.count("shadow.cache.miss")
+            with TELEMETRY.span("shadow.run_store", digest=store.digest):
+                rep = self.shadow.run_store(path, chunk=self.lab.chunk)
+            hit = (rep.fs_misses, rep.ts_misses, rep.cold_misses,
+                   rep.instructions)
+            self._shadow_cache[key] = hit
+            self._shadow_dirty += 1
+            if self._shadow_dirty >= 20:
+                self._flush_shadow()
+            nthreads = rep.nthreads
+        else:
+            TELEMETRY.count("shadow.cache.hit")
+            nthreads = len(list(store.meta.get("threads") or [])) or 1
+        return ShadowReport(
+            fs_misses=hit[0], ts_misses=hit[1], cold_misses=hit[2],
+            instructions=hit[3], nthreads=nthreads,
+        )
+
     def _prefetch_shadow(
         self, pairs: List[Tuple[SuiteProgram, SuiteCase]]
     ) -> None:

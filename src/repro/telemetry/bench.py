@@ -44,11 +44,15 @@ from repro.telemetry.manifest import RunManifest
 __all__ = [
     "drive_traces",
     "measure_drive",
+    "measure_routing",
+    "measure_store_workers",
     "render_speedup_table",
+    "render_routing_report",
     "run_bench",
     "compare_payloads",
     "BenchComparison",
     "bench_main",
+    "ROUTING_FLOOR",
     "SPEEDUP_FLOORS",
 ]
 
@@ -68,6 +72,14 @@ SPEEDUP_FLOORS = {
     "psums/bad-fs/t4": 1.3,
     "streamcluster/simsmall": 1.3,
 }
+
+#: Minimum fraction of 19-program-grid *accesses* the ``auto`` strategy
+#: must route off the scalar reference loop (onto the run-compression or
+#: line-partitioned kernels).  Access-weighted, not segment-weighted: one
+#: huge segment falling back to ``ref`` must not hide behind many tiny
+#: vectorized ones.  Enforced unconditionally by :func:`compare_payloads`,
+#: like :data:`SPEEDUP_FLOORS`.
+ROUTING_FLOOR = 0.95
 
 #: Drive-grid seed state is fully pinned by the workload registry streams;
 #: this seed tags the manifest (the grid itself takes no free seed).
@@ -150,6 +162,81 @@ def measure_drive(repeats: int = 3) -> Dict[str, Dict[str, Any]]:
     return out
 
 
+def measure_routing() -> Dict[str, Any]:
+    """Access-weighted ``auto`` path routing over the 19-program suite grid.
+
+    Runs every suite program's first case once under the shipping ``auto``
+    strategy and accumulates :attr:`MulticoreMachine.path_accesses` — how
+    many *accesses* each drive path handled.  Coverage is the fraction
+    handled off the scalar reference loop (everything except ``ref`` and
+    the eligibility fallback ``ref-gated``); :func:`compare_payloads`
+    enforces :data:`ROUTING_FLOOR` on it as a hard gate.
+    """
+    from repro.coherence.machine import MulticoreMachine, SCALED_WESTMERE
+    from repro.suites import all_programs, get_program
+
+    paths: Dict[str, int] = {}
+    programs: Dict[str, Dict[str, int]] = {}
+    with TELEMETRY.span("bench.routing"):
+        for p in all_programs():
+            prog = get_program(p.name).trace(p.cases()[0])
+            machine = MulticoreMachine(SCALED_WESTMERE, fast="auto")
+            machine.run(prog)
+            programs[p.name] = dict(machine.path_accesses)
+            for path, n in machine.path_accesses.items():
+                paths[path] = paths.get(path, 0) + n
+    total = sum(paths.values())
+    scalar = paths.get("ref", 0) + paths.get("ref-gated", 0)
+    coverage = (total - scalar) / total if total else 0.0
+    return {
+        "floor": ROUTING_FLOOR,
+        "coverage": round(coverage, 6),
+        "accesses": total,
+        "paths": paths,
+        "programs": programs,
+    }
+
+
+def measure_store_workers(tmp_dir: Optional[Path] = None) -> Dict[str, Any]:
+    """Drive a persisted trace store through memmap workers; report RSS.
+
+    Writes the contended ``psums`` trace to a binary store, fans the same
+    path out over worker processes (each opens its own read-only memmap),
+    and records every worker's peak resident set.  The note substantiates
+    the zero-copy claim in ``BENCH_simulator.json``: workers share the
+    store's OS page-cache pages, so N workers do not cost N trace-sized
+    private copies.
+    """
+    import tempfile
+
+    from repro.parallel import ExecutionEngine
+    from repro.trace.store import save_program
+    from repro.coherence.machine import SCALED_WESTMERE
+    from repro.workloads.base import Mode, RunConfig
+    from repro.workloads.registry import get_workload
+
+    w = get_workload("psums")
+    prog = w.trace(RunConfig(threads=4, mode=Mode.BAD_FS,
+                             size=w.train_sizes[-1]))
+    with TELEMETRY.span("bench.store_workers"):
+        with tempfile.TemporaryDirectory(dir=tmp_dir) as td:
+            path = Path(td) / "psums-bad-fs.rtrc"
+            save_program(prog, path)
+            store_bytes = path.stat().st_size
+            engine = ExecutionEngine(jobs=2, chunksize=1)
+            pairs = engine.simulate_stores([path, path], SCALED_WESTMERE)
+    rss = [int(r) for _, r in pairs]
+    return {
+        "case": "psums/bad-fs/t4",
+        "workers": len(rss),
+        "store_bytes": int(store_bytes),
+        "worker_peak_rss_kib": rss,
+        "note": "workers open the store as read-only memmaps and share OS "
+                "page-cache pages; peak RSS stays flat as workers are added "
+                "instead of growing by a private trace copy per process",
+    }
+
+
 def render_speedup_table(payload: Dict[str, Any]) -> str:
     """The per-strategy speedup table (the CI bench job's artifact)."""
     from repro.utils.tables import render_table
@@ -174,6 +261,38 @@ def render_speedup_table(payload: Dict[str, Any]) -> str:
         rows,
         title="drive strategies (auto speedup vs reference loop)",
     )
+
+
+def render_routing_report(payload: Dict[str, Any]) -> str:
+    """Per-program path-routing histogram (the CI coverage artifact)."""
+    from repro.utils.tables import render_table
+
+    routing = payload.get("routing") or {}
+    programs = routing.get("programs") or {}
+    all_paths = sorted({p for hist in programs.values() for p in hist}
+                       | set(routing.get("paths") or {}))
+    rows = []
+    for name, hist in sorted(programs.items()):
+        total = sum(hist.values()) or 1
+        off = total - hist.get("ref", 0) - hist.get("ref-gated", 0)
+        rows.append([name, f"{total:,}"]
+                    + [f"{hist.get(p, 0):,}" for p in all_paths]
+                    + [f"{off / total:.2%}"])
+    totals = routing.get("paths") or {}
+    total = sum(totals.values()) or 1
+    rows.append(["TOTAL", f"{total:,}"]
+                + [f"{totals.get(p, 0):,}" for p in all_paths]
+                + [f"{routing.get('coverage', 0.0):.2%}"])
+    out = render_table(
+        ["program", "accesses"] + all_paths + ["off-ref"],
+        rows,
+        title="auto-strategy routing coverage (access-weighted)",
+    )
+    floor = routing.get("floor", ROUTING_FLOOR)
+    verdict = ("PASS" if routing.get("coverage", 0.0) >= floor else "FAIL")
+    out += (f"\ncoverage {routing.get('coverage', 0.0):.4%} "
+            f"vs floor {floor:.0%}: {verdict}")
+    return out
 
 
 def measure_e2e(jobs: Optional[int] = None) -> Dict[str, Any]:  # pragma: no cover - minutes-long
@@ -225,6 +344,8 @@ def run_bench(
                 "jobs": jobs or 1,
                 "repeats": repeats,
                 "drive": measure_drive(repeats=repeats),
+                "routing": measure_routing(),
+                "store_workers": measure_store_workers(),
                 "e2e": {},
             }
             if not smoke:  # pragma: no cover - minutes-long
@@ -313,12 +434,15 @@ def compare_payloads(
     both payloads carry it — end-to-end wall time
     (``e2e.parallel_fast_s``, lower is better).  A metric regresses when
     it is worse than the baseline by more than ``max_regression``
-    (fractional).  Additionally, any trace carrying a ``speedup_floor``
-    (the contended cases in :data:`SPEEDUP_FLOORS`) must keep its measured
-    ``speedup`` at or above that floor — a hard bound, not softened by
-    ``max_regression``.  Baseline labels missing from the current run fail
-    the gate; new labels absent from the baseline are ignored (they gate
-    once the baseline is refreshed).
+    (fractional).  Two hard bounds are enforced with no tolerance: any
+    trace carrying a ``speedup_floor`` (the contended cases in
+    :data:`SPEEDUP_FLOORS`) must keep its measured ``speedup`` at or above
+    that floor, and a payload carrying ``routing`` must keep its
+    access-weighted off-``ref`` ``coverage`` at or above the recorded
+    routing floor (:data:`ROUTING_FLOOR`); a baseline with routing data
+    also demands it of the current run.  Baseline labels missing from the
+    current run fail the gate; new labels absent from the baseline are
+    ignored (they gate once the baseline is refreshed).
     """
     if not 0 <= max_regression < 1:
         raise TelemetryError("max_regression must be in [0, 1)")
@@ -356,6 +480,26 @@ def compare_payloads(
                 baseline=floor_v,
                 ratio=round(cur_s / floor_v, 4),
                 regressed=cur_s < floor_v,
+            ))
+    # Routing-coverage floor: hard, like the speedup floors.  The floor is
+    # taken from whichever payload records one (current wins); a baseline
+    # with routing data but a current run without any fails as missing.
+    base_routing = baseline.get("routing") or {}
+    cur_routing = current.get("routing") or {}
+    if base_routing or cur_routing:
+        if not cur_routing and base_routing:
+            comparison.missing.append("routing")
+        else:
+            floor_v = float(cur_routing.get("floor")
+                            or base_routing.get("floor") or ROUTING_FLOOR)
+            cur_cov = float(cur_routing.get("coverage", 0.0) or 0.0)
+            comparison.rows.append(ComparisonRow(
+                label="routing",
+                metric="coverage",
+                current=cur_cov,
+                baseline=floor_v,
+                ratio=round(cur_cov / floor_v, 4) if floor_v else 0.0,
+                regressed=cur_cov < floor_v,
             ))
     base_e2e = float((baseline.get("e2e") or {}).get("parallel_fast_s", 0) or 0)
     cur_e2e = float((current.get("e2e") or {}).get("parallel_fast_s", 0) or 0)
@@ -412,6 +556,9 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--speedup-table", default="",
                         help="write the per-strategy speedup table (text) "
                              "here — uploaded as a CI artifact")
+    parser.add_argument("--coverage-report", default="",
+                        help="write the auto-routing coverage report (text) "
+                             "here — uploaded as a CI artifact")
     parser.add_argument("-j", "--jobs", type=int, default=0,
                         help="worker processes for the full-mode pipeline")
     args = parser.parse_args(argv)
@@ -464,12 +611,33 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
             for label, row in payload["drive"].items():
                 print(f"  {label:24s} fast {row['fast_accesses_per_s']:>11,} "
                       f"acc/s  (speedup {row['speedup']:.2f}x)")
+            routing = payload.get("routing") or {}
+            if routing:
+                hist = " ".join(
+                    f"{p}={n:,}"
+                    for p, n in sorted((routing.get("paths") or {}).items()))
+                print(f"  routing: {hist}")
+                print(f"  routing coverage {routing.get('coverage', 0.0):.4%}"
+                      f" (floor {routing.get('floor', ROUTING_FLOOR):.0%})")
+            sw = payload.get("store_workers") or {}
+            if sw:
+                rss = ", ".join(f"{r:,} KiB"
+                                for r in sw.get("worker_peak_rss_kib", []))
+                print(f"  store workers: {sw.get('workers', 0)} memmap "
+                      f"worker(s) over {sw.get('store_bytes', 0):,} B store, "
+                      f"peak RSS {rss}")
 
         if args.speedup_table:
             table_path = Path(args.speedup_table)
             table_path.parent.mkdir(parents=True, exist_ok=True)
             table_path.write_text(render_speedup_table(payload) + "\n")
             print(f"speedups: {table_path}")
+
+        if args.coverage_report:
+            cov_path = Path(args.coverage_report)
+            cov_path.parent.mkdir(parents=True, exist_ok=True)
+            cov_path.write_text(render_routing_report(payload) + "\n")
+            print(f"coverage: {cov_path}")
 
         if baseline is None:
             return 0

@@ -9,7 +9,21 @@ from repro.trace.generators import (
     strided_indices,
     tiled_indices,
 )
-from repro.trace.streams import DEFAULT_CHUNK, MergedTrace, interleave
+from repro.trace.store import (
+    TraceStore,
+    open_program,
+    open_store,
+    read_store,
+    save_program,
+    write_store,
+)
+from repro.trace.streams import (
+    DEFAULT_CHUNK,
+    DEFAULT_SEGMENT,
+    MergedTrace,
+    interleave,
+    interleave_stream,
+)
 
 __all__ = [
     "ProgramTrace",
@@ -23,6 +37,14 @@ __all__ = [
     "tiled_indices",
     "interleave_streams",
     "DEFAULT_CHUNK",
+    "DEFAULT_SEGMENT",
     "MergedTrace",
     "interleave",
+    "interleave_stream",
+    "TraceStore",
+    "open_program",
+    "open_store",
+    "read_store",
+    "save_program",
+    "write_store",
 ]

@@ -10,12 +10,39 @@ program-level metadata; it is what the multicore machine consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.errors import TraceError
 from repro.memory.layout import line_of
+
+
+def _as_addr_column(arr) -> np.ndarray:
+    """``arr`` as contiguous int64, without duplicating an eligible array.
+
+    A read-only memmap view from :mod:`repro.trace.store` (or any
+    already-contiguous int64 array) passes through untouched — copying it
+    would silently double the resident cost of a GB-scale trace per
+    ThreadTrace construction.
+    """
+    if (isinstance(arr, np.ndarray) and arr.dtype == np.int64
+            and arr.flags.c_contiguous):
+        return arr
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def _as_write_column(arr) -> np.ndarray:
+    """``arr`` as contiguous bool, zero-copy for bool/uint8 views."""
+    if isinstance(arr, np.ndarray) and arr.flags.c_contiguous:
+        if arr.dtype == np.bool_:
+            return arr
+        if arr.dtype == np.uint8:
+            # Same bytes, different label: a store's uint8 column is a
+            # bool column (the writer only emits 0/1).
+            return arr.view(np.bool_)
+    return np.ascontiguousarray(arr, dtype=bool)
 
 
 @dataclass
@@ -43,8 +70,8 @@ class ThreadTrace:
     extra_instructions: int = 0
 
     def __post_init__(self) -> None:
-        self.addrs = np.ascontiguousarray(self.addrs, dtype=np.int64)
-        self.is_write = np.ascontiguousarray(self.is_write, dtype=bool)
+        self.addrs = _as_addr_column(self.addrs)
+        self.is_write = _as_write_column(self.is_write)
         if self.addrs.ndim != 1 or self.is_write.ndim != 1:
             raise TraceError("trace arrays must be one-dimensional")
         if self.addrs.shape != self.is_write.shape:
@@ -97,6 +124,49 @@ class ThreadTrace:
         if not self.addrs.size:
             return 0
         return int(np.unique(line_of(self.addrs)).size)
+
+    # ------------------------------------------------------------ store IO
+
+    def to_file(self, path: Union[str, Path]) -> str:
+        """Write this thread as a binary trace store; returns the digest."""
+        from repro.trace.store import write_store
+
+        return write_store(path, [
+            ("addr", self.addrs),
+            ("is_write", self.is_write.view(np.uint8)),
+        ], meta={
+            "kind": "thread",
+            "instr_per_access": float(self.instr_per_access),
+            "extra_instructions": int(self.extra_instructions),
+        })
+
+    @classmethod
+    def open_mmap(cls, path: Union[str, Path]) -> "ThreadTrace":
+        """Open a thread store as read-only memmap views (zero-copy)."""
+        from repro.trace.store import open_store
+
+        return cls._from_store(open_store(path))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ThreadTrace":
+        """Load a thread store into private writable arrays."""
+        from repro.trace.store import read_store
+
+        return cls._from_store(read_store(path))
+
+    @classmethod
+    def _from_store(cls, store) -> "ThreadTrace":
+        meta = store.meta
+        if meta.get("kind") != "thread":
+            raise TraceError(
+                f"store {store.path} is not a thread store "
+                f"(kind={meta.get('kind')!r})")
+        return cls(
+            store["addr"],
+            store["is_write"],
+            instr_per_access=float(meta.get("instr_per_access", 3.0)),
+            extra_instructions=int(meta.get("extra_instructions", 0)),
+        )
 
     def concat(self, other: "ThreadTrace") -> "ThreadTrace":
         """Append another phase executed by the same thread.
@@ -156,6 +226,28 @@ class ProgramTrace:
         if not arrays:
             return 0
         return int(np.unique(np.concatenate(arrays)).size)
+
+    # ------------------------------------------------------------ store IO
+
+    def to_file(self, path: Union[str, Path]) -> str:
+        """Write the whole program as one trace store; returns the digest."""
+        from repro.trace.store import save_program
+
+        return save_program(self, path)
+
+    @classmethod
+    def open_mmap(cls, path: Union[str, Path]) -> "ProgramTrace":
+        """Open a program store as zero-copy memmap-backed thread views."""
+        from repro.trace.store import open_program
+
+        return open_program(path, mmap=True)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ProgramTrace":
+        """Load a program store into private writable arrays."""
+        from repro.trace.store import open_program
+
+        return open_program(path, mmap=False)
 
 
 def empty_thread(instr: int = 0) -> ThreadTrace:

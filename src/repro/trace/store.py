@@ -1,0 +1,358 @@
+"""Zero-copy binary trace store: fixed-width columns behind a memmap.
+
+Generator-materialized traces cap trace scale: every run re-synthesizes the
+same numpy arrays, every worker process receives them pickled, and a
+GB-scale trace costs GB of resident copies per process.  mtrace-style tools
+operate on flat binary access logs for exactly this reason, so this module
+gives traces the same shape:
+
+* fixed-width little-endian columns (``addr: int64``, ``is_write: uint8``,
+  ``core: int32``) laid out back to back, each 64-byte aligned;
+* a versioned JSON header carrying the column directory, free-form ``meta``
+  (thread spans, instruction weights...) and a blake2b **content digest**
+  computed at write time, so consumers can key caches on the trace's bytes
+  in O(1) without re-hashing gigabytes;
+* :func:`open_store` maps the file as a read-only :class:`numpy.memmap`:
+  opening is O(1) regardless of size, workers that open the same path share
+  pages through the OS cache instead of holding private copies, and slicing
+  a column is a view, never a copy.
+
+Anything malformed — bad magic, truncated header or columns, an unknown
+format version, a directory that does not parse — is a hard
+:class:`~repro.errors.TraceError`: a trace store is an input, not an
+accelerator, so silent degradation is never correct (contrast the shadow
+cache in :mod:`repro.experiments.context`, which may legitimately drop
+corrupt entries and recompute).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = [
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "ColumnSpec",
+    "TraceStore",
+    "write_store",
+    "open_store",
+    "read_store",
+    "save_program",
+    "open_program",
+]
+
+#: File magic ("Repro TRaCe").
+STORE_MAGIC = b"RTRC"
+
+#: Current on-disk format version.  Readers demand an exact match: a store
+#: written by a different format revision must be regenerated, not guessed
+#: at.
+STORE_VERSION = 1
+
+#: Column blobs start on 64-byte boundaries (one cache line): memmap views
+#: are aligned for every dtype the format carries.
+_ALIGN = 64
+
+#: dtypes the format admits, by canonical name.  Little-endian fixed width
+#: only — the reader rejects anything else so a store is portable bytes,
+#: not a pickle.
+_DTYPES = {
+    "int64": np.dtype("<i8"),
+    "int32": np.dtype("<i4"),
+    "int16": np.dtype("<i2"),
+    "uint8": np.dtype("u1"),
+}
+
+
+def _dtype_name(dtype: np.dtype) -> str:
+    for name, dt in _DTYPES.items():
+        if dt == dtype.newbyteorder("<"):
+            return name
+    raise TraceError(f"unsupported column dtype {dtype!r}")
+
+
+def _pad(offset: int) -> int:
+    return (-offset) % _ALIGN
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Directory entry for one column: where its bytes live."""
+
+    name: str
+    dtype: str
+    offset: int
+    n: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.n * _DTYPES[self.dtype].itemsize
+
+
+@dataclass
+class TraceStore:
+    """A trace store opened read-only; columns are zero-copy memmap views."""
+
+    path: Path
+    version: int
+    n: int
+    digest: str
+    meta: Dict[str, object]
+    columns: Dict[str, np.ndarray] = field(repr=False)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise TraceError(
+                f"store {self.path} has no column {name!r} "
+                f"(has: {sorted(self.columns)})"
+            ) from None
+
+
+def _content_digest(arrays: Sequence[Tuple[str, np.ndarray]]) -> str:
+    """blake2b over column names, dtypes and raw little-endian bytes."""
+    h = hashlib.blake2b(digest_size=16)
+    for name, arr in arrays:
+        h.update(name.encode())
+        h.update(_dtype_name(arr.dtype).encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def write_store(
+    path: Union[str, Path],
+    columns: Sequence[Tuple[str, np.ndarray]],
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write ``columns`` (name, 1-D array pairs) to ``path``; returns digest.
+
+    All columns must share one length (rows of one logical table).  The
+    digest lands in the header so readers get it in O(1).
+    """
+    if not columns:
+        raise TraceError("a trace store needs at least one column")
+    arrays: List[Tuple[str, np.ndarray]] = []
+    n = -1
+    for name, arr in columns:
+        arr = np.asarray(arr)
+        if arr.ndim != 1:
+            raise TraceError(f"column {name!r} must be one-dimensional")
+        if n < 0:
+            n = int(arr.size)
+        elif int(arr.size) != n:
+            raise TraceError(
+                f"column {name!r} has {arr.size} rows, expected {n}")
+        arrays.append((name, np.ascontiguousarray(
+            arr, dtype=_DTYPES[_dtype_name(arr.dtype)])))
+    digest = _content_digest(arrays)
+
+    # Header length depends on offsets, which depend on header length; the
+    # padding after the header absorbs the fixpoint (two passes suffice:
+    # the second header differs only in offset digits).
+    def _directory(base: int) -> Tuple[List[Dict[str, object]], int]:
+        entries = []
+        off = base
+        for name, arr in arrays:
+            off += _pad(off)
+            entries.append({"name": name, "dtype": _dtype_name(arr.dtype),
+                            "offset": off, "n": int(arr.size)})
+            off += arr.nbytes
+        return entries, off
+
+    meta = dict(meta or {})
+    base = len(STORE_MAGIC) + 4
+    for _ in range(2):
+        entries, _ = _directory(base)
+        header = json.dumps({
+            "version": STORE_VERSION,
+            "n": n,
+            "digest": digest,
+            "columns": entries,
+            "meta": meta,
+        }, sort_keys=True).encode()
+        data_base = len(STORE_MAGIC) + 4 + len(header)
+        data_base += _pad(data_base)
+        if base == data_base:
+            break
+        base = data_base
+    entries, _ = _directory(base)
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(STORE_MAGIC)
+        fh.write(len(header).to_bytes(4, "little"))
+        fh.write(header)
+        pos = len(STORE_MAGIC) + 4 + len(header)
+        for entry, (_, arr) in zip(entries, arrays):
+            fh.write(b"\0" * (entry["offset"] - pos))
+            fh.write(arr.tobytes())
+            pos = entry["offset"] + arr.nbytes
+    tmp.replace(path)
+    return digest
+
+
+def _parse_header(path: Path, raw: bytes) -> Dict[str, object]:
+    if len(raw) < len(STORE_MAGIC) + 4:
+        raise TraceError(f"trace store {path} is truncated (no header)")
+    if raw[: len(STORE_MAGIC)] != STORE_MAGIC:
+        raise TraceError(f"{path} is not a trace store (bad magic)")
+    hlen = int.from_bytes(raw[len(STORE_MAGIC): len(STORE_MAGIC) + 4],
+                          "little")
+    body = raw[len(STORE_MAGIC) + 4: len(STORE_MAGIC) + 4 + hlen]
+    if len(body) < hlen:
+        raise TraceError(f"trace store {path} is truncated (header)")
+    try:
+        header = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceError(f"trace store {path} has a corrupt header: {exc}")
+    if not isinstance(header, dict):
+        raise TraceError(f"trace store {path} has a corrupt header")
+    version = header.get("version")
+    if version != STORE_VERSION:
+        raise TraceError(
+            f"trace store {path} has format version {version!r}; "
+            f"this reader supports version {STORE_VERSION} — regenerate it")
+    return header
+
+
+def open_store(path: Union[str, Path]) -> TraceStore:
+    """Open a store as read-only memmap views (O(1), zero-copy)."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace store {path} does not exist")
+    size = path.stat().st_size
+    with open(path, "rb") as fh:
+        raw = fh.read(min(size, len(STORE_MAGIC) + 4))
+        if len(raw) >= len(STORE_MAGIC) + 4:
+            hlen = int.from_bytes(
+                raw[len(STORE_MAGIC):], "little")
+            raw += fh.read(hlen)
+    header = _parse_header(path, raw)
+    try:
+        n = int(header["n"])
+        digest = str(header["digest"])
+        meta = dict(header["meta"])
+        entries = list(header["columns"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"trace store {path} has a corrupt header: {exc}")
+    mm = np.memmap(path, dtype=np.uint8, mode="r")
+    columns: Dict[str, np.ndarray] = {}
+    for entry in entries:
+        try:
+            spec = ColumnSpec(str(entry["name"]), str(entry["dtype"]),
+                              int(entry["offset"]), int(entry["n"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(
+                f"trace store {path} has a corrupt column entry: {exc}")
+        if spec.dtype not in _DTYPES:
+            raise TraceError(
+                f"trace store {path} column {spec.name!r} has unsupported "
+                f"dtype {spec.dtype!r}")
+        end = spec.offset + spec.nbytes
+        if spec.offset < 0 or end > size:
+            raise TraceError(
+                f"trace store {path} is truncated: column {spec.name!r} "
+                f"needs bytes [{spec.offset}, {end}) but the file has {size}")
+        columns[spec.name] = mm[spec.offset:end].view(
+            _DTYPES[spec.dtype])
+    return TraceStore(path=path, version=STORE_VERSION, n=n,
+                      digest=digest, meta=meta, columns=columns)
+
+
+def read_store(path: Union[str, Path]) -> TraceStore:
+    """Like :func:`open_store` but with private writable column copies."""
+    store = open_store(path)
+    store.columns = {k: np.array(v) for k, v in store.columns.items()}
+    return store
+
+
+# -------------------------------------------------------- program packing
+#
+# A whole ProgramTrace packs into one store: per-thread columns are
+# concatenated and the header's meta records each thread's (offset, length)
+# row span plus its instruction weights.  Workers therefore receive a
+# (path, offset, length) handle per thread — the file — and reconstruct
+# zero-copy ThreadTrace views locally instead of unpickling arrays.
+
+
+def save_program(program, path: Union[str, Path]) -> str:
+    """Persist a :class:`~repro.trace.access.ProgramTrace`; returns digest."""
+    spans = []
+    off = 0
+    for t in program.threads:
+        spans.append({
+            "offset": off,
+            "length": int(t.n_accesses),
+            "instr_per_access": float(t.instr_per_access),
+            "extra_instructions": int(t.extra_instructions),
+        })
+        off += int(t.n_accesses)
+    addrs = (np.concatenate([t.addrs for t in program.threads])
+             if off else np.empty(0, np.int64))
+    is_write = (np.concatenate([t.is_write for t in program.threads])
+                if off else np.empty(0, bool))
+    meta = {
+        "kind": "program",
+        "name": program.name,
+        "threads": spans,
+        "meta": dict(program.meta),
+    }
+    return write_store(path, [
+        ("addr", addrs.astype(np.int64, copy=False)),
+        ("is_write", is_write.astype(np.uint8, copy=False)),
+    ], meta=meta)
+
+
+def open_program(path: Union[str, Path], mmap: bool = True):
+    """Open a program store as a ProgramTrace of zero-copy thread views.
+
+    ``mmap=False`` copies the columns into private writable arrays (for
+    callers that want to mutate); the default keeps everything a read-only
+    view of the file.
+    """
+    from repro.trace.access import ProgramTrace, ThreadTrace
+
+    store = open_store(path) if mmap else read_store(path)
+    meta = store.meta
+    if meta.get("kind") != "program":
+        raise TraceError(
+            f"trace store {path} is not a program store "
+            f"(kind={meta.get('kind')!r})")
+    addrs = store["addr"]
+    is_write = store["is_write"].view(np.bool_)
+    try:
+        spans = list(meta["threads"])
+    except (KeyError, TypeError):
+        raise TraceError(f"trace store {path} has no thread directory")
+    threads = []
+    for i, span in enumerate(spans):
+        try:
+            lo = int(span["offset"])
+            ln = int(span["length"])
+            ipa = float(span["instr_per_access"])
+            extra = int(span["extra_instructions"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(
+                f"trace store {path} thread {i} span is corrupt: {exc}")
+        if lo < 0 or lo + ln > store.n:
+            raise TraceError(
+                f"trace store {path} thread {i} span [{lo}, {lo + ln}) "
+                f"exceeds the store's {store.n} rows")
+        threads.append(ThreadTrace(
+            addrs[lo:lo + ln], is_write[lo:lo + ln],
+            instr_per_access=ipa, extra_instructions=extra))
+    prog = ProgramTrace(threads, name=str(meta.get("name", "anonymous")),
+                        meta=dict(meta.get("meta") or {}))
+    prog.meta.setdefault("store_digest", store.digest)
+    return prog

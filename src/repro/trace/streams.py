@@ -10,11 +10,19 @@ mean finer interleaving and more cache-line ping-pong under false sharing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Union
 
 import numpy as np
 
 from repro.errors import TraceError
 from repro.trace.access import ProgramTrace
+
+#: Default segment size (accesses) for :func:`interleave_stream`.  Large
+#: enough that the per-segment numpy/lexsort overhead vanishes and the
+#: drive strategies see the same routing signal as a monolithic merge,
+#: small enough that a GB-scale trace streams in tens-of-MB working sets.
+DEFAULT_SEGMENT = 4_194_304
 
 #: Default interleave granularity.  Chosen so that a tight false-sharing loop
 #: (one store per ~10 instructions) yields a false-sharing miss rate in the
@@ -33,6 +41,43 @@ class MergedTrace:
 
     def __len__(self) -> int:
         return int(self.core.size)
+
+    # ------------------------------------------------------------ store IO
+
+    def to_file(self, path: Union[str, Path]) -> str:
+        """Write the merged order as a binary trace store; returns digest."""
+        from repro.trace.store import write_store
+
+        return write_store(path, [
+            ("core", np.asarray(self.core, dtype=np.int32)),
+            ("addr", np.asarray(self.addr, dtype=np.int64)),
+            ("is_write", np.asarray(self.is_write).view(np.uint8)
+             if np.asarray(self.is_write).dtype == np.bool_
+             else np.asarray(self.is_write, dtype=np.uint8)),
+        ], meta={"kind": "merged"})
+
+    @classmethod
+    def open_mmap(cls, path: Union[str, Path]) -> "MergedTrace":
+        """Open a merged store as read-only memmap views (zero-copy)."""
+        from repro.trace.store import open_store
+
+        return cls._from_store(open_store(path))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "MergedTrace":
+        """Load a merged store into private writable arrays."""
+        from repro.trace.store import read_store
+
+        return cls._from_store(read_store(path))
+
+    @classmethod
+    def _from_store(cls, store) -> "MergedTrace":
+        if store.meta.get("kind") != "merged":
+            raise TraceError(
+                f"store {store.path} is not a merged-trace store "
+                f"(kind={store.meta.get('kind')!r})")
+        return cls(store["core"], store["addr"],
+                   store["is_write"].view(np.bool_))
 
 
 def interleave(program: ProgramTrace, chunk: int = DEFAULT_CHUNK) -> MergedTrace:
@@ -74,3 +119,68 @@ def interleave(program: ProgramTrace, chunk: int = DEFAULT_CHUNK) -> MergedTrace
         off += n
     order = np.lexsort((pos_col, core_col, pos_col // chunk))
     return MergedTrace(core_col[order], addr_col[order], wr_col[order])
+
+
+def interleave_stream(
+    program: ProgramTrace,
+    chunk: int = DEFAULT_CHUNK,
+    max_accesses: int = DEFAULT_SEGMENT,
+) -> Iterator[MergedTrace]:
+    """:func:`interleave`, streamed: bounded-memory segments, exact order.
+
+    Yields consecutive :class:`MergedTrace` segments whose concatenation is
+    bit-identical to ``interleave(program, chunk)`` — without ever
+    materializing the full merged columns.  The merge key is
+    ``(position // chunk, thread, position)``, so the global order is
+    primarily by *round*: a window of whole rounds is self-contained, and
+    each window only touches the ``len(threads) * chunk * rounds`` slice of
+    every per-thread column (views when the columns are memmaps — the
+    window working set is bounded regardless of trace size).
+
+    ``max_accesses`` bounds the segment size; at least one round per
+    segment is always emitted.
+    """
+    if chunk <= 0:
+        raise TraceError("chunk must be positive")
+    if max_accesses <= 0:
+        raise TraceError("max_accesses must be positive")
+    threads = program.threads
+    nt = program.nthreads
+    sizes = [t.n_accesses for t in threads]
+    longest = max(sizes) if sizes else 0
+    if longest == 0:
+        return
+    if nt == 1:
+        t = threads[0]
+        for lo in range(0, sizes[0], max_accesses):
+            hi = min(lo + max_accesses, sizes[0])
+            yield MergedTrace(
+                np.zeros(hi - lo, np.int16),
+                t.addrs[lo:hi], t.is_write[lo:hi],
+            )
+        return
+    rounds = max(1, max_accesses // (nt * chunk))
+    total_rounds = -(-longest // chunk)
+    for r0 in range(0, total_rounds, rounds):
+        lo = r0 * chunk
+        hi = min((r0 + rounds) * chunk, longest)
+        seg_n = sum(max(0, min(n, hi) - min(n, lo)) for n in sizes)
+        if seg_n == 0:
+            continue
+        core_col = np.empty(seg_n, np.int16)
+        pos_col = np.empty(seg_n, np.int64)
+        addr_col = np.empty(seg_n, np.int64)
+        wr_col = np.empty(seg_n, bool)
+        off = 0
+        for tid, t in enumerate(threads):
+            a, b = min(sizes[tid], lo), min(sizes[tid], hi)
+            if b <= a:
+                continue
+            sl = slice(off, off + (b - a))
+            core_col[sl] = tid
+            pos_col[sl] = np.arange(a, b, dtype=np.int64)
+            addr_col[sl] = t.addrs[a:b]
+            wr_col[sl] = t.is_write[a:b]
+            off += b - a
+        order = np.lexsort((pos_col, core_col, pos_col // chunk))
+        yield MergedTrace(core_col[order], addr_col[order], wr_col[order])

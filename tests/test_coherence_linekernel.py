@@ -111,12 +111,71 @@ def test_line_kernel_hitm_sampling_matches_reference():
     assert lines.hitm_samples  # the sweep actually exercised sampling
 
 
-def test_line_kernel_ineligible_segment_falls_back_identically():
-    # 32k distinct lines overflow L2 sets, violating the kernel's
-    # no-eviction precondition; the forced 'lines' strategy must fall back
-    # to the reference loop (recorded as 'ref-gated') and stay identical.
+def test_line_kernel_replays_l2_evictions_identically():
+    # 4k distinct lines overflow every L2 set (32 lines per 8-way set) but
+    # fit L3 comfortably: the eviction-aware replay must keep the segment
+    # on the kernel path and stay bit-identical, final state included.
     w = get_workload("seq_read")
     prog = w.trace(RunConfig(threads=1, mode=Mode.GOOD, size=32_768))
+    ml = MulticoreMachine(SCALED_WESTMERE, fast="lines")
+    mr = MulticoreMachine(SCALED_WESTMERE, fast=False)
+    res = ml.run(prog, keep_state=True)
+    ref = mr.run(prog, keep_state=True)
+    assert ml.path_counts == {"lines": 1}
+    _assert_identical(res, ref)
+    assert res.counts["L2_LINES_OUT.DEMAND_CLEAN"] > 0  # evictions happened
+    for cl, cr in zip(ml._l1, mr._l1):
+        assert _snap(cl) == _snap(cr), cl.name
+    for cl, cr in zip(ml._l2, mr._l2):
+        assert _snap(cl) == _snap(cr), cl.name
+    assert _snap(ml._l3) == _snap(mr._l3)
+
+
+def test_line_kernel_replays_dirty_evictions_identically():
+    # Same shape but with stores: dirty victims must write back (and land
+    # in L3) exactly like the reference loop's back-invalidation path.
+    w = get_workload("seq_write")
+    prog = w.trace(RunConfig(threads=1, mode=Mode.GOOD, size=32_768))
+    ml = MulticoreMachine(SCALED_WESTMERE, fast="lines")
+    mr = MulticoreMachine(SCALED_WESTMERE, fast=False)
+    res = ml.run(prog, keep_state=True)
+    ref = mr.run(prog, keep_state=True)
+    assert ml.path_counts == {"lines": 1}
+    _assert_identical(res, ref)
+    assert res.counts["L2_LINES_OUT.DEMAND_DIRTY"] > 0
+    for cl, cr in zip(ml._l2, mr._l2):
+        assert _snap(cl) == _snap(cr), cl.name
+    assert _snap(ml._l3) == _snap(mr._l3)
+
+
+def test_line_kernel_sliced_replays_warm_resident_lines_identically():
+    # Sliced runs hand each segment the previous segment's warm caches, so
+    # replay-owned lines can already be *resident* in the owner's L2 when
+    # the segment starts.  Those must keep their real MESI state through
+    # the eviction-aware replay (not the walk sentinel) or reconstruction
+    # has no walk record to resolve them from.  Regression test for a
+    # KeyError in the wholesale L2-set rebuild.
+    w = get_workload("seq_write")
+    prog = w.trace(RunConfig(threads=1, mode=Mode.GOOD, size=32_768))
+    ml = MulticoreMachine(SCALED_WESTMERE, fast="lines")
+    mr = MulticoreMachine(SCALED_WESTMERE, fast=False)
+    res = ml.run_sliced(prog, 4, keep_state=True)
+    ref = mr.run_sliced(prog, 4, keep_state=True)
+    assert ml.path_counts.get("lines", 0) >= 2  # warm segments stayed fast
+    assert "ref-gated" not in ml.path_counts
+    for res_l, res_r in zip(res, ref):
+        _assert_identical(res_l, res_r)
+    for cl, cr in zip(ml._l2, mr._l2):
+        assert _snap(cl) == _snap(cr), cl.name
+    assert _snap(ml._l3) == _snap(mr._l3)
+
+
+def test_line_kernel_ineligible_segment_falls_back_identically():
+    # 32k distinct lines overflow the L3 budget (32 lines per 16-way set);
+    # the forced 'lines' strategy must fall back to the reference loop
+    # (recorded as 'ref-gated') and stay identical.
+    w = get_workload("seq_read")
+    prog = w.trace(RunConfig(threads=1, mode=Mode.GOOD, size=262_144))
     m = MulticoreMachine(SCALED_WESTMERE, fast="lines")
     res = m.run(prog)
     assert m.path_counts.get("ref-gated", 0) >= 1
