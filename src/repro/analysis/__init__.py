@@ -1,18 +1,34 @@
-"""Static sharing analysis: a simulation-free false-sharing verdict.
+"""Static sharing analysis: simulation-free false-sharing verdicts.
 
-The package's three pieces form the third detection modality next to the
-dynamic shadow-memory oracle and the trained classifier:
+The package's pieces form the third and fourth detection modalities next
+to the dynamic shadow-memory oracle and the trained classifier:
 
 * :mod:`repro.analysis.sharing` — classify every cache line a program
   touches as private / read-shared / true-shared / false-shared, straight
   from the trace, with no MESI simulation;
-* :mod:`repro.analysis.lint` — rule engine (FS001..FS004) turning those
-  facts into actionable findings with padding suggestions;
+* :mod:`repro.analysis.symbols` — interval-indexed map from address
+  ranges to named workload objects (``objects_on_line`` / ``line_owners``);
+* :mod:`repro.analysis.predict` — the same verdict vocabulary computed
+  from a symbolic :class:`~repro.workloads.plan.AccessPlan` alone, before
+  any trace exists;
+* :mod:`repro.analysis.lint` — rule engine (FS001..FS008) turning trace
+  facts and predictions into actionable findings with padding
+  suggestions, each carrying a stable fingerprint;
+* :mod:`repro.analysis.baseline` — committed finding baselines so CI
+  fails only on *new* findings;
+* :mod:`repro.analysis.validate` — line-level precision/recall of the
+  predictive pass against the shadow oracle's per-line attribution;
 * :mod:`repro.analysis.crosscheck` — disagreement harness fanning the
-  mini-program grid through static analyzer, shadow oracle, and the
-  trained tree, and reporting where the three detectors diverge.
+  mini-program grid through predictive analyzer, static analyzer, shadow
+  oracle, and the trained tree, and reporting where they diverge.
 """
 
+from repro.analysis.baseline import (
+    BaselineDiff,
+    diff_findings,
+    load_baseline,
+    save_baseline,
+)
 from repro.analysis.crosscheck import (
     CaseRecord,
     CrossChecker,
@@ -20,6 +36,12 @@ from repro.analysis.crosscheck import (
     default_grid,
 )
 from repro.analysis.lint import Finding, SharingLinter
+from repro.analysis.predict import (
+    PredictedLine,
+    Prediction,
+    PredictiveAnalyzer,
+    predict_plan,
+)
 from repro.analysis.sharing import (
     SIGNIFICANCE_THRESHOLD,
     LineSharing,
@@ -28,18 +50,35 @@ from repro.analysis.sharing import (
     ThreadProfile,
     analyze_trace,
 )
+from repro.analysis.symbols import Symbol, SymbolTable
+from repro.analysis.validate import (
+    PredictionValidator,
+    ValidationReport,
+)
 
 __all__ = [
+    "BaselineDiff",
+    "diff_findings",
+    "load_baseline",
+    "save_baseline",
     "CaseRecord",
     "CrossChecker",
     "CrossCheckReport",
     "default_grid",
     "Finding",
     "SharingLinter",
+    "PredictedLine",
+    "Prediction",
+    "PredictiveAnalyzer",
+    "predict_plan",
     "SIGNIFICANCE_THRESHOLD",
     "LineSharing",
     "SharingReport",
     "StaticSharingAnalyzer",
     "ThreadProfile",
     "analyze_trace",
+    "Symbol",
+    "SymbolTable",
+    "PredictionValidator",
+    "ValidationReport",
 ]

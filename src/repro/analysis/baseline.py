@@ -1,0 +1,140 @@
+"""Finding baselines: CI fails on *new* lint findings only.
+
+A mature lint needs a ratchet, not a cliff: the registry intentionally
+ships buggy-mode workloads (bad-fs packs the accumulators on purpose), so
+a predictive sweep over it will always produce findings.  The baseline
+file records the fingerprints of every *known* finding; CI compares the
+current sweep against it and fails only when an unsuppressed fingerprint
+appears.  Fixed findings are reported too, so the baseline can be
+re-tightened (``--update-baseline``) once a layout bug is actually fixed.
+
+The file format is deliberately reviewable JSON: one entry per finding,
+sorted by (scope, rule, fingerprint), carrying enough of a summary that a
+reviewer can tell what each suppressed finding is without re-running the
+sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.analysis.lint import Finding
+from repro.errors import ConfigError
+
+#: Current baseline file schema version.
+BASELINE_VERSION = 1
+
+#: Default committed baseline location (repo root).
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _entry(finding: Finding) -> Dict[str, object]:
+    """The reviewable summary a baseline stores per finding."""
+    return {
+        "fingerprint": finding.fingerprint,
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "scope": finding.scope,
+        "lines": [int(x) for x in finding.lines],
+        "threads": [int(t) for t in finding.threads],
+        "objects": list(finding.objects),
+        "message": finding.message,
+    }
+
+
+def baseline_payload(findings: List[Finding]) -> Dict[str, object]:
+    """Serializable baseline for a list of findings (stable order)."""
+    entries = sorted(
+        (_entry(f) for f in findings),
+        key=lambda e: (e["scope"], e["rule"], e["fingerprint"]),
+    )
+    return {"version": BASELINE_VERSION, "findings": entries}
+
+
+def save_baseline(path: Union[str, Path],
+                  findings: List[Finding]) -> Dict[str, object]:
+    payload = baseline_payload(findings)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+    return payload
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, object]:
+    p = Path(path)
+    if not p.exists():
+        raise ConfigError(f"baseline file not found: {p}")
+    payload = json.loads(p.read_text())
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ConfigError(
+            f"unsupported baseline version {version!r} in {p} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    if not isinstance(payload.get("findings"), list):
+        raise ConfigError(f"malformed baseline {p}: no findings list")
+    return payload
+
+
+def baseline_fingerprints(payload: Dict[str, object]) -> Dict[str, Dict]:
+    out: Dict[str, Dict] = {}
+    for entry in payload["findings"]:  # type: ignore[union-attr]
+        out[str(entry["fingerprint"])] = entry
+    return out
+
+
+@dataclass
+class BaselineDiff:
+    """Current findings split against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    known: List[Finding] = field(default_factory=list)
+    #: Baseline entries with no matching current finding.
+    fixed: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "clean": self.clean,
+            "counts": {"new": len(self.new), "known": len(self.known),
+                       "fixed": len(self.fixed)},
+            "new": [f.to_dict() for f in self.new],
+            "known_fingerprints": sorted(f.fingerprint
+                                         for f in self.known),
+            "fixed": list(self.fixed),
+        }
+
+    def render(self) -> str:
+        head = (f"baseline diff: {len(self.new)} new, "
+                f"{len(self.known)} known, {len(self.fixed)} fixed")
+        lines = [head]
+        for f in self.new:
+            lines.append(f"  NEW   {f.fingerprint} {f.rule} "
+                         f"[{f.severity}] {f.scope}: {f.message}")
+        for entry in self.fixed:
+            lines.append(f"  FIXED {entry['fingerprint']} {entry['rule']} "
+                         f"{entry['scope']} — update the baseline to "
+                         "drop it")
+        if self.clean:
+            lines.append("  no unsuppressed findings.")
+        return "\n".join(lines)
+
+
+def diff_findings(findings: List[Finding],
+                  baseline: Dict[str, object]) -> BaselineDiff:
+    """Split current findings into new/known and spot fixed entries."""
+    known_by_fp = baseline_fingerprints(baseline)
+    diff = BaselineDiff()
+    seen = set()
+    for f in findings:
+        fp = f.fingerprint
+        seen.add(fp)
+        (diff.known if fp in known_by_fp else diff.new).append(f)
+    diff.fixed = [entry for fp, entry in sorted(known_by_fp.items())
+                  if fp not in seen]
+    return diff

@@ -1,8 +1,10 @@
-"""Cross-detector disagreement harness: static × shadow oracle × tree.
+"""Cross-detector disagreement harness: predict × static × shadow × tree.
 
-Three independent detectors now exist for the same question — *does this
-run falsely share?* — with three different epistemologies:
+Four independent detectors now exist for the same question — *does this
+run falsely share?* — with four different epistemologies:
 
+* the **predictive analyzer** (this package) forecasts from the symbolic
+  access plan alone — no trace is even generated;
 * the **static analyzer** (this package) decides from the trace's layout
   and timing structure alone, no simulation;
 * the **shadow oracle** ([33]) replays every access through word-granular
@@ -12,12 +14,13 @@ run falsely share?* — with three different epistemologies:
 
 Following the validate-against-independent-ground-truth discipline, this
 harness fans the full mini-program × mode × thread-count grid through all
-three and reports the confusion structure: any systematic disagreement is
+four and reports the confusion structure: any systematic disagreement is
 either a bug in one detector or a real blind spot worth knowing about
 (e.g. the tree can only answer at whole-program granularity, the static
-pass cannot see cache capacity).  Simulations are prefetched through
+pass cannot see cache capacity, the predictive pass cannot see the real
+interleaving).  Simulations are prefetched through
 :class:`repro.parallel.ExecutionEngine`, oracle runs fan out over the same
-pool, and the cheap static pass runs in the parent.
+pool, and the cheap symbolic passes run in the parent.
 """
 
 from __future__ import annotations
@@ -26,12 +29,14 @@ import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.predict import PredictiveAnalyzer
 from repro.analysis.sharing import SharingReport, StaticSharingAnalyzer
 from repro.baselines.shadow import (
     FS_RATE_THRESHOLD,
     MAX_THREADS,
     ShadowMemoryDetector,
 )
+from repro.errors import WorkloadError
 from repro.utils.tables import render_table
 from repro.workloads.base import RunConfig, Workload
 from repro.workloads.registry import mt_miniprograms, seq_miniprograms
@@ -78,7 +83,11 @@ def default_grid(
 
 @dataclass
 class CaseRecord:
-    """All three verdicts for one grid case."""
+    """All four verdicts for one grid case.
+
+    ``predict_label`` is empty when the workload exposes no symbolic
+    access plan; such records compare the remaining three detectors only.
+    """
 
     workload: str
     mode: str
@@ -90,6 +99,7 @@ class CaseRecord:
     shadow_fs: bool
     shadow_rate: float
     tree_label: str
+    predict_label: str = ""
 
     @property
     def static_fs(self) -> bool:
@@ -100,9 +110,16 @@ class CaseRecord:
         return self.tree_label == "bad-fs"
 
     @property
+    def predict_fs(self) -> bool:
+        return self.predict_label == "bad-fs"
+
+    @property
     def unanimous_fs(self) -> bool:
-        """All three detectors give the same false-sharing verdict."""
-        return self.static_fs == self.shadow_fs == self.tree_fs
+        """All participating detectors give the same fs verdict."""
+        flags = [self.static_fs, self.shadow_fs, self.tree_fs]
+        if self.predict_label:
+            flags.append(self.predict_fs)
+        return len(set(flags)) == 1
 
     @property
     def case_id(self) -> str:
@@ -117,6 +134,7 @@ class CaseRecord:
             "threads": self.threads,
             "size": self.size,
             "pattern": self.pattern,
+            "predict": self.predict_label or None,
             "static": self.static_label,
             "static_significance": self.static_significance,
             "shadow": "fs" if self.shadow_fs else "no-fs",
@@ -141,12 +159,24 @@ class CrossCheckReport:
             out[key] = out.get(key, 0) + 1
         return out
 
+    def confusion_full(self) -> Dict[Tuple[str, str, str, str], int]:
+        """Counts per (predict, static, shadow, tree) verdict quadruple.
+
+        ``predict`` is ``"-"`` for records without a symbolic plan.
+        """
+        out: Dict[Tuple[str, str, str, str], int] = {}
+        for r in self.records:
+            key = (r.predict_label or "-", r.static_label,
+                   "fs" if r.shadow_fs else "no-fs", r.tree_label)
+            out[key] = out.get(key, 0) + 1
+        return out
+
     def pairwise_fs_agreement(self) -> Dict[str, float]:
         """Fraction of cases where each detector pair agrees on fs/no-fs."""
         n = len(self.records)
         if n == 0:
             return {}
-        return {
+        out = {
             "static-vs-shadow": sum(r.static_fs == r.shadow_fs
                                     for r in self.records) / n,
             "tree-vs-shadow": sum(r.tree_fs == r.shadow_fs
@@ -154,21 +184,35 @@ class CrossCheckReport:
             "static-vs-tree": sum(r.static_fs == r.tree_fs
                                   for r in self.records) / n,
         }
+        planned = [r for r in self.records if r.predict_label]
+        if planned:
+            m = len(planned)
+            out["predict-vs-shadow"] = sum(r.predict_fs == r.shadow_fs
+                                           for r in planned) / m
+            out["predict-vs-static"] = sum(r.predict_fs == r.static_fs
+                                           for r in planned) / m
+            out["predict-vs-tree"] = sum(r.predict_fs == r.tree_fs
+                                         for r in planned) / m
+        return out
 
     def disagreements(self) -> List[CaseRecord]:
         """Cases where the three false-sharing verdicts are not unanimous."""
         return [r for r in self.records if not r.unanimous_fs]
 
     def render(self) -> str:
-        lines = [f"{len(self.records)} grid cases, three detectors"]
-        conf = self.confusion()
+        n_detectors = (4 if any(r.predict_label for r in self.records)
+                       else 3)
+        lines = [f"{len(self.records)} grid cases, "
+                 f"{n_detectors} detectors"]
+        conf = self.confusion_full()
         rows = [
-            [s, sh, tr, n]
-            for (s, sh, tr), n in sorted(conf.items())
+            [p, s, sh, tr, n]
+            for (p, s, sh, tr), n in sorted(conf.items())
         ]
         lines.append(render_table(
-            ["static", "shadow", "tree", "cases"], rows,
-            title="Verdict confusion matrix (static × shadow × tree)",
+            ["predict", "static", "shadow", "tree", "cases"], rows,
+            title="Verdict confusion matrix "
+                  "(predict × static × shadow × tree)",
         ))
         agree = self.pairwise_fs_agreement()
         lines.append("false-sharing agreement: " + "   ".join(
@@ -177,18 +221,18 @@ class CrossCheckReport:
         dis = self.disagreements()
         if dis:
             rows = [
-                [r.case_id, r.static_label,
+                [r.case_id, r.predict_label or "-", r.static_label,
                  "fs" if r.shadow_fs else "no-fs", r.tree_label,
                  f"{r.static_significance:.1e}", f"{r.shadow_rate:.1e}"]
                 for r in dis
             ]
             lines.append(render_table(
-                ["case", "static", "shadow", "tree", "static sig",
-                 "shadow rate"],
+                ["case", "predict", "static", "shadow", "tree",
+                 "static sig", "shadow rate"],
                 rows, title="Disagreements (false-sharing axis)",
             ))
         else:
-            lines.append("no disagreements: all three detectors concur on "
+            lines.append("no disagreements: all detectors concur on "
                          "every case.")
         return "\n".join(lines)
 
@@ -196,8 +240,10 @@ class CrossCheckReport:
         payload = {
             "cases": [r.to_dict() for r in self.records],
             "confusion": [
-                {"static": s, "shadow": sh, "tree": tr, "count": n}
-                for (s, sh, tr), n in sorted(self.confusion().items())
+                {"predict": p, "static": s, "shadow": sh, "tree": tr,
+                 "count": n}
+                for (p, s, sh, tr), n in
+                sorted(self.confusion_full().items())
             ],
             "pairwise_fs_agreement": self.pairwise_fs_agreement(),
             "disagreements": [r.case_id for r in self.disagreements()],
@@ -218,6 +264,7 @@ class CrossChecker:
         self.detector = detector
         self.shadow = shadow or ShadowMemoryDetector()
         self.analyzer = analyzer or StaticSharingAnalyzer()
+        self.predictor = PredictiveAnalyzer()
         if engine is None:
             from repro.parallel import ExecutionEngine
 
@@ -227,6 +274,14 @@ class CrossChecker:
     def static_report(self, workload: Workload,
                       cfg: RunConfig) -> SharingReport:
         return self.analyzer.analyze(workload.trace(cfg))
+
+    def predict_label(self, workload: Workload, cfg: RunConfig) -> str:
+        """Symbolic verdict, or "" for plan-less workloads."""
+        try:
+            plan = workload.plan(cfg)
+        except WorkloadError:
+            return ""
+        return self.predictor.analyze(plan).verdict
 
     def run(
         self, grid: Optional[Sequence[Tuple[Workload, RunConfig]]] = None
@@ -260,6 +315,7 @@ class CrossChecker:
                 shadow_fs=rate > FS_RATE_THRESHOLD,
                 shadow_rate=rate,
                 tree_label=tree,
+                predict_label=self.predict_label(w, cfg),
             ))
         self.detector.lab.flush()
         return CrossCheckReport(records)

@@ -254,12 +254,20 @@ def detect_main(argv: Optional[Sequence[str]] = None) -> int:
 
 def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
     """Static sharing analysis: lint one run, or cross-check the grid."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "predict":
+        return predict_main(argv[1:])
+    if argv and argv[0] == "symbols":
+        return symbols_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
         description="Simulation-free static sharing analysis: classify "
                     "every cache line, lint the layout (FS001..FS004), "
                     "or cross-check static vs shadow-oracle vs tree "
-                    "verdicts over the mini-program grid.",
+                    "verdicts over the mini-program grid.  Subcommands: "
+                    "`predict` (trace-free plan analysis + FS005..FS008 "
+                    "lint, baseline gating), `symbols` (the address-range "
+                    "symbol table of a workload's layout).",
     )
     parser.add_argument("workload", nargs="?", default="",
                         help="mini-program or suite program name "
@@ -326,6 +334,185 @@ def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
             print()
             print(render_findings(findings))
         return 0 if rep.verdict == "good" else 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _add_format_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--format", choices=("table", "json"), default="table",
+                   help="output format (json has stable key order)")
+
+
+def predict_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Trace-free predictive analysis (``repro-analyze predict``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze predict",
+        description="Predict false sharing from a workload's symbolic "
+                    "access plan — no trace is generated.  Runs the "
+                    "layout-aware lint rules (FS005..FS008) and, with "
+                    "--all, sweeps the full workload registry against a "
+                    "committed finding baseline.",
+    )
+    parser.add_argument("workload", nargs="?", default="",
+                        help="mini-program or suite program name "
+                             "(omit with --all)")
+    parser.add_argument("-t", "--threads", type=int, default=6)
+    parser.add_argument("-m", "--mode", default="good",
+                        help="mini-programs: good | bad-fs | bad-ma")
+    parser.add_argument("-n", "--size", type=int, default=0,
+                        help="problem size (mini-programs; 0 = default)")
+    parser.add_argument("--pattern", default="random",
+                        help="bad-ma access pattern (random, strideN)")
+    parser.add_argument("--input", default="",
+                        help="input set (suite programs, e.g. simsmall)")
+    parser.add_argument("--opt", default="-O2",
+                        help="optimization level for suite programs")
+    parser.add_argument("--all", action="store_true",
+                        help="predict every registry workload at every "
+                             "mode (the baseline sweep)")
+    parser.add_argument("--grid-threads", type=int, default=4,
+                        help="thread count for the --all sweep")
+    parser.add_argument("--baseline", default="",
+                        help="baseline JSON to suppress known findings "
+                             "(e.g. analysis-baseline.json)")
+    parser.add_argument("--fail-on-new", action="store_true",
+                        help="exit 1 when a finding is not in the "
+                             "baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the --baseline file from the "
+                             "current findings")
+    parser.add_argument("--output", default="",
+                        help="also write the full JSON report here")
+    _add_format_option(parser)
+    args = parser.parse_args(argv)
+    try:
+        import json as _json
+
+        from repro.analysis.baseline import (
+            diff_findings,
+            load_baseline,
+            save_baseline,
+        )
+        from repro.analysis.lint import SharingLinter, render_findings
+        from repro.analysis.predict import predict_plan
+
+        linter = SharingLinter()
+        if args.all:
+            from repro.analysis.validate import registry_grid
+
+            grid = registry_grid(threads=args.grid_threads,
+                                 pattern=args.pattern)
+            preds = [predict_plan(w.plan(cfg)) for w, cfg in grid]
+        else:
+            if not args.workload:
+                parser.error("a workload name is required unless --all")
+            target, kind = _resolve_target(args.workload)
+            cfg = _build_config(target, kind, args)
+            preds = [predict_plan(target.plan(cfg))]
+        findings = [f for pred in preds
+                    for f in linter.lint_prediction(pred)]
+        payload = {
+            "cases": [pred.to_dict() for pred in preds],
+            "findings": [f.to_dict() for f in findings],
+        }
+        if args.update_baseline:
+            if not args.baseline:
+                parser.error("--update-baseline requires --baseline PATH")
+            save_baseline(args.baseline, findings)
+            print(f"baseline updated: {args.baseline} "
+                  f"({len(findings)} finding(s))")
+        diff = None
+        if args.baseline and not args.update_baseline:
+            diff = diff_findings(findings, load_baseline(args.baseline))
+            payload["baseline_diff"] = diff.to_dict()
+        if args.output:
+            with open(args.output, "w") as fh:
+                _json.dump(payload, fh, indent=2, sort_keys=True)
+        if args.format == "json":
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            if args.all:
+                rows = [[pred.plan.scope(), pred.verdict,
+                         f"{pred.fs_significance:.2e}",
+                         sum(1 for f in findings
+                             if f.scope == pred.plan.scope())]
+                        for pred in preds]
+                print(render_table(
+                    ["case", "verdict", "fs significance", "findings"],
+                    rows, title="Predictive sweep"))
+            else:
+                print(preds[0].render())
+            print()
+            print(render_findings(findings))
+            if diff is not None:
+                print()
+                print(diff.render())
+        if diff is not None and args.fail_on_new and not diff.clean:
+            return 1
+        if not args.all and not args.baseline:
+            return 0 if preds[0].verdict == "good" else 1
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def symbols_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Workload symbol-table queries (``repro-analyze symbols``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze symbols",
+        description="Show the address-range symbol table a workload's "
+                    "layout produces, or resolve one cache line to its "
+                    "named objects.",
+    )
+    parser.add_argument("workload",
+                        help="mini-program or suite program name")
+    parser.add_argument("-t", "--threads", type=int, default=6)
+    parser.add_argument("-m", "--mode", default="good",
+                        help="mini-programs: good | bad-fs | bad-ma")
+    parser.add_argument("-n", "--size", type=int, default=0,
+                        help="problem size (mini-programs; 0 = default)")
+    parser.add_argument("--pattern", default="random",
+                        help="bad-ma access pattern (random, strideN)")
+    parser.add_argument("--input", default="",
+                        help="input set (suite programs, e.g. simsmall)")
+    parser.add_argument("--opt", default="-O2",
+                        help="optimization level for suite programs")
+    parser.add_argument("--line", default="",
+                        help="resolve one cache-line index (decimal or "
+                             "0x-hex) to its owning objects")
+    _add_format_option(parser)
+    args = parser.parse_args(argv)
+    try:
+        import json as _json
+
+        target, kind = _resolve_target(args.workload)
+        cfg = _build_config(target, kind, args)
+        plan = target.plan(cfg)
+        if args.line:
+            line = int(args.line, 0)
+            owners = plan.symbols.line_owners(line)
+            if args.format == "json":
+                print(_json.dumps(
+                    {"line": line, "address": f"0x{line * 64:x}",
+                     "objects": [s.to_dict() for s in owners]},
+                    indent=2, sort_keys=True))
+            elif owners:
+                print(f"line {line} (0x{line * 64:x}):")
+                for s in owners:
+                    owner = "-" if s.tid is None else f"T{s.tid}"
+                    print(f"  {s.name:20s} [{s.kind}] base=0x{s.base:x} "
+                          f"size={s.size} owner={owner}")
+            else:
+                print(f"line {line} (0x{line * 64:x}): no named objects")
+            return 0
+        if args.format == "json":
+            print(_json.dumps(plan.symbols.to_dict(), indent=2,
+                              sort_keys=True))
+        else:
+            print(plan.symbols.render())
+        return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

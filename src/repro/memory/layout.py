@@ -25,9 +25,25 @@ assert (1 << LINE_SHIFT) == LINE_SIZE
 assert (1 << PAGE_SHIFT) == PAGE_SIZE
 
 
-def line_of(addr):
-    """Cache-line index for a byte address (scalar or ndarray)."""
-    return addr >> LINE_SHIFT
+def _line_shift(line_size: int) -> int:
+    """Shift amount for a line size; rejects non-power-of-two sizes."""
+    if line_size <= 0 or line_size & (line_size - 1):
+        raise ValueError(
+            f"line size must be a positive power of two, got {line_size}"
+        )
+    return line_size.bit_length() - 1
+
+
+def line_of(addr, line_size: int = LINE_SIZE):
+    """Cache-line index for a byte address (scalar or ndarray).
+
+    ``line_size`` defaults to the machine's 64-byte lines; passing another
+    power of two models different geometries (e.g. streamcluster's 32-byte
+    assumption, or 128-byte L2 sectors).
+    """
+    if line_size == LINE_SIZE:
+        return addr >> LINE_SHIFT
+    return addr >> _line_shift(line_size)
 
 
 def page_of(addr):
@@ -35,9 +51,11 @@ def page_of(addr):
     return addr >> PAGE_SHIFT
 
 
-def offset_in_line(addr):
+def offset_in_line(addr, line_size: int = LINE_SIZE):
     """Byte offset of an address within its cache line."""
-    return addr & (LINE_SIZE - 1)
+    if line_size != LINE_SIZE:
+        _line_shift(line_size)  # validate
+    return addr & (line_size - 1)
 
 
 def align_up(addr: int, align: int) -> int:
@@ -103,6 +121,6 @@ class ArrayLayout:
         return int(last - first + 1)
 
 
-def shares_line(addr_a: int, addr_b: int) -> bool:
+def shares_line(addr_a: int, addr_b: int, line_size: int = LINE_SIZE) -> bool:
     """True when two byte addresses fall on the same cache line."""
-    return line_of(addr_a) == line_of(addr_b)
+    return line_of(addr_a, line_size) == line_of(addr_b, line_size)

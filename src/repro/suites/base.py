@@ -150,6 +150,26 @@ class SuiteProgram(ABC):
     def _generate(self, case: SuiteCase) -> Sequence[ThreadTrace]:
         """Produce one ThreadTrace per thread."""
 
+    def plan(self, case: SuiteCase):
+        """Symbolic access plan for one case (no trace generated).
+
+        Returns an :class:`repro.workloads.plan.AccessPlan`; raises
+        :class:`WorkloadError` for models that do not expose one.
+        """
+        self.validate(case)
+        plan = self._plan(case)
+        plan.meta.setdefault("workload", self.name)
+        plan.meta.setdefault("suite", self.suite)
+        plan.meta.setdefault("input", case.input_set)
+        plan.meta.setdefault("opt", case.opt)
+        plan.meta.setdefault("threads", case.threads)
+        return plan.validate()
+
+    def _plan(self, case: SuiteCase):
+        raise WorkloadError(
+            f"{self.name} does not expose a symbolic access plan"
+        )
+
     def cache_key(self, case: SuiteCase) -> tuple:
         key = (case.input_set, case.opt, case.threads, case.seed)
         if self.nondeterministic:

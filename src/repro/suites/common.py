@@ -22,11 +22,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.symbols import Symbol
 from repro.memory.allocator import BumpAllocator
 from repro.memory.layout import LINE_SIZE
 from repro.suites.base import SuiteCase, SuiteProgram, opt_effects
 from repro.trace.access import ThreadTrace
 from repro.workloads.builders import with_sync
+from repro.workloads.plan import PlanBuilder, gather_bursts, sweeps_of
 
 
 class ParamModel(SuiteProgram):
@@ -216,6 +218,103 @@ class ParamModel(SuiteProgram):
                 )
             )
         return threads
+
+    def _plan(self, case: SuiteCase):
+        eff = opt_effects(case.opt)
+        nt = case.threads
+        iters = max(1, self.p_iters(case))
+        pb = PlanBuilder(self.name, nt)
+        sync = pb.line_region("sync", 64, size=8, kind="sync")
+
+        fields = max(1, self.p_acc_fields(case))
+        stride = self.p_acc_stride(case)
+        struct_bytes = max(8 * fields, 8)
+        if stride is None:
+            stride = ((struct_bytes + LINE_SIZE - 1) // LINE_SIZE) * LINE_SIZE
+        acc_base = pb.alloc.alloc(max(stride * nt, struct_bytes * nt),
+                                  align=64)
+        acc_syms = [
+            pb.symbols.add(Symbol(
+                f"acc[t{t}]", acc_base + t * stride, struct_bytes,
+                kind="struct", tid=t, elem_size=8, group="acc",
+            ))
+            for t in range(nt)
+        ]
+        merge_base = pb.alloc.alloc(8 * nt, align=64)
+        merge_syms = [
+            pb.symbols.add(Symbol(
+                f"merge[t{t}]", merge_base + 8 * t, 8,
+                kind="merge", tid=t, elem_size=8, group="merge",
+            ))
+            for t in range(nt)
+        ]
+
+        in_bytes = max(self.p_input_bytes(case), 4 * nt)
+        n_total = in_bytes // 4
+        input_sym = pb.array("input", 4, n_total)
+
+        gather_shared = self.p_gather_shared(case)
+        g_bytes = max(self.p_gather_bytes(case), 64)
+        shared_sym = None
+        if gather_shared:
+            shared_sym = pb.array("gather", 8, g_bytes // 8, kind="table",
+                                  group="gather")
+
+        acc_period = self.p_acc_period(case)
+        gather_period = self.p_gather_period(case)
+        ipa = max(1.0, self.p_ipa(case) * float(eff["instr_scale"]))
+        stack_every = self.p_stack_every(case)
+        sync_every = self.p_sync_every(case)
+        n_merge = max(0, self.p_merge_rmws(case))
+        chunk = max(1, n_total // nt)
+        extra = []
+        for tid in range(nt):
+            if gather_shared:
+                tsym = shared_sym
+            else:
+                tsym = pb.array(f"gather[t{tid}]", 8, g_bytes // 8,
+                                kind="table", tid=tid, group="gather")
+            ssym = pb.line_region(f"stack[t{tid}]", 64, size=8,
+                                  kind="stack", tid=tid, group="stack")
+
+            span = min(iters, chunk)
+            sweeps = sweeps_of(iters, chunk)
+            pb.use(input_sym, tid, reads=iters, start=tid * chunk,
+                   stop=tid * chunk + span,
+                   order="linear" if sweeps <= 1 else "scattered",
+                   bursts=1.0 if span * 4 <= LINE_SIZE else sweeps)
+            n_body = iters
+
+            g_hits = iters // gather_period if gather_period > 0 else 0
+            if g_hits:
+                lines = max(1, g_bytes // LINE_SIZE)
+                pb.use(tsym, tid, reads=g_hits, order="scattered",
+                       bursts=gather_bursts(g_hits, lines,
+                                            gather_period * float(lines)))
+                n_body += g_hits
+
+            a_hits = iters // acc_period if acc_period > 0 else 0
+            if a_hits:
+                pb.use(acc_syms[tid], tid, reads=a_hits * fields,
+                       writes=a_hits * fields, stop=fields,
+                       order="scattered")
+                n_body += 2 * fields * a_hits
+
+            s_hits = ((iters + stack_every - 1) // stack_every
+                      if stack_every > 0 else 0)
+            if s_hits:
+                pb.use(ssym, tid, reads=s_hits, writes=s_hits,
+                       order="scattered")
+                n_body += 2 * s_hits
+
+            if n_merge:
+                pb.use(merge_syms[tid], tid, reads=n_merge, writes=n_merge,
+                       order="scattered", phase=1)
+                n_body += 2 * n_merge
+
+            pb.sync_use(sync, tid, n_body, sync_every)
+            extra.append(max(0, self.p_spin_instr(case, tid)))
+        return pb.finish(ipa, extra=extra)
 
 
 def mb(n: float) -> int:

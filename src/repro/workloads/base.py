@@ -156,6 +156,30 @@ class Workload(ABC):
     def _generate(self, cfg: RunConfig) -> Sequence[ThreadTrace]:
         """Produce one ThreadTrace per thread (already validated config)."""
 
+    def plan(self, cfg: RunConfig):
+        """Symbolic access plan for this configuration (no trace generated).
+
+        Returns an :class:`repro.workloads.plan.AccessPlan` mirroring what
+        :meth:`trace` would produce: the same allocator layout (as named
+        symbols) and per-thread region accesses, without materializing a
+        single address.  Raises :class:`WorkloadError` for workloads that
+        do not expose a plan.
+        """
+        self.validate(cfg)
+        plan = self._plan(cfg)
+        plan.meta.setdefault("workload", self.name)
+        plan.meta.setdefault("kind", self.kind)
+        plan.meta.setdefault("mode", cfg.mode.value)
+        plan.meta.setdefault("threads", cfg.threads)
+        plan.meta.setdefault("size", cfg.size)
+        plan.meta.setdefault("pattern", cfg.pattern)
+        return plan.validate()
+
+    def _plan(self, cfg: RunConfig):
+        raise WorkloadError(
+            f"{self.name} does not expose a symbolic access plan"
+        )
+
     def cache_key(self, cfg: RunConfig) -> tuple:
         """Simulation-cache key: everything that changes the computation.
 

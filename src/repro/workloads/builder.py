@@ -29,8 +29,17 @@ from repro.errors import ConfigError
 from repro.memory.allocator import BumpAllocator
 from repro.memory.layout import LINE_SIZE
 from repro.trace.access import ThreadTrace
+from repro.analysis.symbols import Symbol
 from repro.workloads.base import Mode, RunConfig, Workload, ordered_visit, partition
 from repro.workloads.builders import with_sync
+from repro.workloads.plan import (
+    PlanBuilder,
+    clamp_range,
+    elems_per_line,
+    gather_bursts,
+    hostile_bursts,
+    visit_kind,
+)
 
 
 @dataclass(frozen=True)
@@ -138,6 +147,74 @@ class BuiltWorkload(Workload):
             threads.append(ThreadTrace(addrs, writes,
                                        instr_per_access=self._ipa))
         return threads
+
+    def _plan(self, cfg: RunConfig):
+        pb = PlanBuilder(self.name, cfg.threads)
+        sync = pb.line_region("sync", 64, size=8, kind="sync")
+
+        acc_syms = []
+        for a_i, acc in enumerate(self._accumulators):
+            struct = acc.field_size * acc.fields
+            if acc.packed and cfg.mode is Mode.BAD_FS:
+                stride = struct
+            else:
+                stride = ((struct + LINE_SIZE - 1) // LINE_SIZE) * LINE_SIZE
+            base = pb.alloc.alloc(stride * cfg.threads, align=64)
+            group = f"acc{a_i}"
+            acc_syms.append([
+                pb.symbols.add(Symbol(
+                    f"{group}[t{t}]", base + t * stride, struct,
+                    kind="struct", tid=t, elem_size=acc.field_size,
+                    group=group,
+                ))
+                for t in range(cfg.threads)
+            ])
+
+        stream = self._stream
+        n_elems = cfg.size if stream is None else max(cfg.size, cfg.threads)
+        elem = stream.elem_size if stream else 8
+        input_sym = pb.array("input", elem, n_elems)
+        kind = visit_kind(cfg.mode, cfg.pattern)
+        sbursts = hostile_bursts(cfg.mode, cfg.pattern, elems_per_line(elem))
+
+        shared_tables: dict = {}
+        for tid, (start, stop) in enumerate(partition(n_elems, cfg.threads)):
+            span = max(stop - start, 1)
+            s0, s1 = clamp_range(start, span, n_elems)
+            pb.use(input_sym, tid, reads=span, start=s0, stop=s1,
+                   order=kind, bursts=sbursts)
+            n_body = span
+            for g_i, g in enumerate(self._gathers):
+                if g.shared:
+                    tsym = shared_tables.get(g_i)
+                    if tsym is None:
+                        tsym = pb.array(f"table{g_i}", 8, g.table_bytes // 8,
+                                        kind="table", group=f"table{g_i}")
+                        shared_tables[g_i] = tsym
+                else:
+                    tsym = pb.array(f"table{g_i}[t{tid}]", 8,
+                                    g.table_bytes // 8, kind="table",
+                                    tid=tid, group=f"table{g_i}")
+                hits = span // g.every
+                lines = max(1, g.table_bytes // LINE_SIZE)
+                pb.use(tsym, tid, reads=hits, order="scattered",
+                       bursts=gather_bursts(hits, lines,
+                                            g.every * float(lines)))
+                n_body += hits
+            for syms, acc in zip(acc_syms, self._accumulators):
+                hits = span // acc.every
+                pb.use(syms[tid], tid, reads=hits * acc.fields,
+                       writes=hits * acc.fields, stop=acc.fields,
+                       order="scattered")
+                n_body += 2 * acc.fields * hits
+            if self._stack_every:
+                ssym = pb.line_region(f"stack[t{tid}]", 64, size=8,
+                                      kind="stack", tid=tid, group="stack")
+                hits = (span + self._stack_every - 1) // self._stack_every
+                pb.use(ssym, tid, reads=hits, writes=hits, order="scattered")
+                n_body += 2 * hits
+            pb.sync_use(sync, tid, n_body, self._sync_every)
+        return pb.finish(self._ipa)
 
 
 def _assemble(span: int, blocks) -> tuple:

@@ -30,9 +30,25 @@ from repro.workloads.builders import (
     thread_slots,
     with_sync,
 )
+from repro.workloads.plan import (
+    PlanBuilder,
+    clamp_range,
+    elems_per_line,
+    hostile_bursts,
+    visit_kind,
+)
 
 _ALL3 = frozenset({Mode.GOOD, Mode.BAD_FS, Mode.BAD_MA})
 _FS2 = frozenset({Mode.GOOD, Mode.BAD_FS})
+
+
+def _residues_in(lo: int, hi: int, mod: int, residue: int) -> int:
+    """How many integers in [lo, hi) are ``residue`` modulo ``mod``."""
+
+    def upto(x: int) -> int:
+        return max(0, (x - residue + mod - 1) // mod)
+
+    return upto(hi) - upto(lo)
 
 
 class _ScalarBase(Workload):
@@ -58,10 +74,27 @@ class _ScalarBase(Workload):
         return threads
 
     slot_size = 8
+    slot_group = "psum"
     ipa = LOOP_IPA
 
     def _body(self, slot: int, iters: int):
         raise NotImplementedError
+
+    def _slot_plan(self, iters: int):
+        """(reads, writes, fields) the per-thread body performs on its slot."""
+        raise NotImplementedError
+
+    def _plan(self, cfg: RunConfig):
+        pb = PlanBuilder(self.name, cfg.threads)
+        sync = pb.line_region("sync", 64, size=8, kind="sync")
+        slots = pb.thread_slots(self.slot_group, cfg.mode,
+                                elem_size=self.slot_size)
+        reads, writes, fields = self._slot_plan(cfg.size)
+        for tid in range(cfg.threads):
+            pb.use(slots[tid], tid, reads=reads, writes=writes,
+                   stop=fields, order="scattered")
+            pb.sync_use(sync, tid, reads + writes, self.sync_every)
+        return pb.finish(self.ipa)
 
 
 class PSums(_ScalarBase):
@@ -73,6 +106,9 @@ class PSums(_ScalarBase):
 
     def _body(self, slot: int, iters: int):
         return rmw(slot, iters)
+
+    def _slot_plan(self, iters: int):
+        return iters, iters, 1
 
 
 class Padding(_ScalarBase):
@@ -99,6 +135,11 @@ class Padding(_ScalarBase):
         writes[2::4], writes[3::4] = w1[0::2], w1[1::2]
         return addrs, writes
 
+    slot_group = "stats"
+
+    def _slot_plan(self, iters: int):
+        return 2 * iters, 2 * iters, 2
+
 
 class False1(_ScalarBase):
     """Store-only false sharing: ``flag[myid] = i`` in a tight loop."""
@@ -110,6 +151,11 @@ class False1(_ScalarBase):
 
     def _body(self, slot: int, iters: int):
         return stores(slot, iters)
+
+    slot_group = "flag"
+
+    def _slot_plan(self, iters: int):
+        return 0, iters, 1
 
 
 class _VectorBase(Workload):
@@ -158,6 +204,35 @@ class _VectorBase(Workload):
 
     def _slot_op(self, order: np.ndarray) -> str:
         return self.slot_op
+
+    def _array_names(self):
+        if self.n_arrays == 1:
+            return ["v"]
+        return [f"v{i + 1}" for i in range(self.n_arrays)]
+
+    def _plan(self, cfg: RunConfig):
+        pb = PlanBuilder(self.name, cfg.threads)
+        sync = pb.line_region("sync", 64, size=8, kind="sync")
+        slots = pb.thread_slots("psum", cfg.mode, elem_size=4)
+        arrays = [pb.array(name, self.elem_size, cfg.size)
+                  for name in self._array_names()]
+        kind = visit_kind(cfg.mode, cfg.pattern)
+        bursts = hostile_bursts(cfg.mode, cfg.pattern,
+                                elems_per_line(self.elem_size))
+        slot_w = {"rmw": 1, "store": 1, "none": 0}[self.slot_op]
+        slot_r = 1 if self.slot_op == "rmw" else 0
+        for tid, (start, stop) in enumerate(partition(cfg.size, cfg.threads)):
+            span = stop - start
+            if span == 0:
+                span, start, stop = 1, 0, 1
+            for arr in arrays:
+                pb.use(arr, tid, reads=span, start=start, stop=stop,
+                       order=kind, bursts=bursts)
+            pb.use(slots[tid], tid, reads=slot_r * span,
+                   writes=slot_w * span, order="scattered")
+            n_body = span * (self.n_arrays + slot_r + slot_w)
+            pb.sync_use(sync, tid, n_body, self.sync_every)
+        return pb.finish(self.ipa)
 
 
 class PSumV(_VectorBase):
@@ -224,6 +299,25 @@ class Count(_VectorBase):
             threads.append(ThreadTrace(addrs, writes, instr_per_access=self.ipa))
         return threads
 
+    def _plan(self, cfg: RunConfig):
+        pb = PlanBuilder(self.name, cfg.threads)
+        sync = pb.line_region("sync", 64, size=8, kind="sync")
+        slots = pb.thread_slots("count", cfg.mode, elem_size=4)
+        arr = pb.array("a", self.elem_size, cfg.size)
+        kind = visit_kind(cfg.mode, cfg.pattern)
+        bursts = hostile_bursts(cfg.mode, cfg.pattern,
+                                elems_per_line(self.elem_size))
+        for tid, (start, stop) in enumerate(partition(cfg.size, cfg.threads)):
+            span = max(stop - start, 1)
+            s0, s1 = clamp_range(start, span, cfg.size)
+            hits = _residues_in(s0, s1, 64, 1)
+            pb.use(arr, tid, reads=span, start=s0, stop=s1,
+                   order=kind, bursts=bursts)
+            pb.use(slots[tid], tid, reads=hits, writes=hits,
+                   order="scattered")
+            pb.sync_use(sync, tid, span + 2 * hits, self.sync_every)
+        return pb.finish(self.ipa)
+
 
 class PMatMult(Workload):
     """Parallel matrix multiply, naive -O0 shape: ``C[i,j] += A[i,k]*B[k,j]``.
@@ -287,6 +381,40 @@ class PMatMult(Workload):
             threads.append(ThreadTrace(addrs, writes, instr_per_access=self.ipa))
         return threads
 
+    def _plan(self, cfg: RunConfig):
+        n = cfg.size
+        total = n * n
+        pb = PlanBuilder(self.name, cfg.threads)
+        sync = pb.line_region("sync", 64, size=8, kind="sync")
+        a = pb.array("A", 8, total)
+        b = pb.array("B", 8, total)
+        c = pb.array("C", 8, total)
+        epl = elems_per_line(8)
+        hostile = cfg.mode is Mode.BAD_MA
+        for tid in range(cfg.threads):
+            if cfg.mode is Mode.BAD_FS:
+                m = len(range(tid, total, cfg.threads))
+                cells = (tid, total, cfg.threads) if m else (0, 1, 1)
+            else:
+                start, stop = partition(total, cfg.threads)[tid]
+                m = stop - start
+                cells = (start, stop, 1) if m else (0, 1, 1)
+            m = max(m, 1)
+            # A: the rows of the owned cells, swept once per owned cell.
+            last = cells[0] + (m - 1) * cells[2]
+            a_rng = ((cells[0] // n) * n, (last // n + 1) * n)
+            pb.use(a, tid, reads=m * n, start=a_rng[0], stop=a_rng[1],
+                   order="scattered" if hostile else "linear",
+                   bursts=float(epl) if hostile else 1.0)
+            # B: column walks — every owned cell reads a full column.
+            pb.use(b, tid, reads=m * n, stop=total, order="scattered",
+                   bursts=max(1.0, m * float(epl) / n))
+            # C: the owned cells, RMW n times each, consecutively.
+            pb.use(c, tid, reads=m * n, writes=m * n, start=cells[0],
+                   stop=cells[1], step=cells[2], order="linear")
+            pb.sync_use(sync, tid, 4 * m * n, self.sync_every)
+        return pb.finish(self.ipa)
+
 
 class PMatCompare(Workload):
     """Parallel matrix compare: per-thread mismatch counters.
@@ -333,6 +461,27 @@ class PMatCompare(Workload):
             addrs, writes = with_sync(addrs, writes, sync_word, self.sync_every)
             threads.append(ThreadTrace(addrs, writes, instr_per_access=self.ipa))
         return threads
+
+    def _plan(self, cfg: RunConfig):
+        n2 = cfg.size * cfg.size
+        pb = PlanBuilder(self.name, cfg.threads)
+        sync = pb.line_region("sync", 64, size=8, kind="sync")
+        slots = pb.thread_slots("mismatch", cfg.mode)
+        a = pb.array("A", 8, n2)
+        b = pb.array("B", 8, n2)
+        kind = visit_kind(cfg.mode, cfg.pattern)
+        bursts = hostile_bursts(cfg.mode, cfg.pattern, elems_per_line(8))
+        for tid, (start, stop) in enumerate(partition(n2, cfg.threads)):
+            span = max(stop - start, 1)
+            s0, s1 = clamp_range(start, span, n2)
+            hits = _residues_in(s0, s1, 8, 3)
+            for arr in (a, b):
+                pb.use(arr, tid, reads=span, start=s0, stop=s1,
+                       order=kind, bursts=bursts)
+            pb.use(slots[tid], tid, reads=hits, writes=hits,
+                   order="scattered")
+            pb.sync_use(sync, tid, 2 * span + 2 * hits, self.sync_every)
+        return pb.finish(self.ipa)
 
 
 MT_PROGRAMS = (PSums, Padding, False1, PSumV, PDot, Count, PMatMult, PMatCompare)

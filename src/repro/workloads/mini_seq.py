@@ -21,6 +21,12 @@ from repro.workloads.base import (
     Workload,
     ordered_visit,
 )
+from repro.workloads.plan import (
+    PlanBuilder,
+    elems_per_line,
+    hostile_bursts,
+    visit_kind,
+)
 
 _SEQ_MODES = frozenset({Mode.GOOD, Mode.BAD_MA})
 
@@ -58,12 +64,29 @@ class _SeqArrayBase(Workload):
     def _visit(self, addrs: np.ndarray):
         raise NotImplementedError
 
+    #: (reads, writes) one visited element produces.
+    visit_rw = (1, 0)
+
+    def _plan(self, cfg: RunConfig):
+        pb = PlanBuilder(self.name, 1)
+        arr = pb.array("a", self.elem_size, cfg.size)
+        kind = visit_kind(cfg.mode, cfg.pattern)
+        per_sweep = hostile_bursts(cfg.mode, cfg.pattern,
+                                   elems_per_line(self.elem_size))
+        r, w = self.visit_rw
+        pb.use(arr, 0, reads=r * cfg.size * self.sweeps,
+               writes=w * cfg.size * self.sweeps, stop=cfg.size,
+               order=kind, bursts=per_sweep * self.sweeps)
+        return pb.finish(self.ipa)
+
 
 class SeqRead(_SeqArrayBase):
     """Read every element of an array."""
 
     name = "seq_read"
     description = "element-wise array read"
+
+    visit_rw = (1, 0)
 
     def _visit(self, addrs):
         return addrs, np.zeros(addrs.size, dtype=bool)
@@ -76,6 +99,8 @@ class SeqWrite(_SeqArrayBase):
     description = "element-wise array write"
     ipa = 2.5
 
+    visit_rw = (0, 1)
+
     def _visit(self, addrs):
         return addrs, np.ones(addrs.size, dtype=bool)
 
@@ -86,6 +111,8 @@ class SeqRMW(_SeqArrayBase):
     name = "seq_rmw"
     description = "element-wise read-modify-write"
     ipa = 3.5
+
+    visit_rw = (1, 1)
 
     def _visit(self, addrs):
         out_a = np.repeat(addrs, 2)
@@ -143,6 +170,26 @@ class SeqMatMul(Workload):
         addrs[3::4] = c.addr(ii * n + jj)
         writes[3::4] = True
         return [ThreadTrace(addrs, writes, instr_per_access=self.ipa)]
+
+    def _plan(self, cfg: RunConfig):
+        big_k = cfg.size
+        m, n = self.m_rows, self.n_cols
+        pb = PlanBuilder(self.name, 1)
+        a = pb.array("A", 8, m * big_k)
+        b = pb.array("B", 8, big_k * n)
+        c = pb.array("C", 8, m * n)
+        total = m * n * big_k
+        hostile = cfg.mode is Mode.BAD_MA
+        # good (i,k,j): A rows swept once (hot); B rows re-read per i;
+        # C held hot throughout.  bad-ma (i,j,k): A rows re-read per j,
+        # B walked column-wise so every line cools between touches.
+        pb.use(a, 0, reads=total, stop=m * big_k,
+               order="scattered" if hostile else "linear",
+               bursts=float(n) if hostile else 1.0)
+        pb.use(b, 0, reads=total, stop=big_k * n, order="scattered",
+               bursts=float(m * n) if hostile else float(m))
+        pb.use(c, 0, reads=total, writes=total, stop=m * n, order="scattered")
+        return pb.finish(self.ipa)
 
 
 SEQ_PROGRAMS = (SeqRead, SeqWrite, SeqRMW, SeqMatMul)

@@ -1,0 +1,129 @@
+"""Tests for the finding-baseline ratchet."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    baseline_payload,
+    diff_findings,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.lint import Finding
+from repro.errors import ConfigError
+
+
+def finding(rule="FS006", scope="psums/bad-fs/t4", lines=(100,),
+            threads=(0, 1), objects=("psum[t0]", "psum[t1]")):
+    return Finding(rule, "error", "packed slots", list(lines),
+                   list(threads), "pad it", {},
+                   objects=list(objects), scope=scope)
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert finding().fingerprint == finding().fingerprint
+
+    def test_scope_sensitive(self):
+        assert (finding(scope="psums/bad-fs/t4").fingerprint
+                != finding(scope="pdot/bad-fs/t4").fingerprint)
+
+    def test_object_order_insensitive(self):
+        a = finding(objects=("b", "a"))
+        b = finding(objects=("a", "b"))
+        assert a.fingerprint == b.fingerprint
+
+    def test_message_not_part_of_identity(self):
+        a = finding()
+        b = finding()
+        b.message = "different wording, same bug"
+        assert a.fingerprint == b.fingerprint
+
+
+class TestPayload:
+    def test_sorted_and_versioned(self):
+        fs = [finding(scope="z/t4"), finding(scope="a/t4"),
+              finding(rule="FS005", scope="a/t4")]
+        payload = baseline_payload(fs)
+        assert payload["version"] == BASELINE_VERSION
+        keys = [(e["scope"], e["rule"]) for e in payload["findings"]]
+        assert keys == sorted(keys)
+
+    def test_entry_is_reviewable(self):
+        (entry,) = baseline_payload([finding()])["findings"]
+        assert entry["fingerprint"] == finding().fingerprint
+        assert entry["objects"] == ["psum[t0]", "psum[t1]"]
+        assert entry["message"] == "packed slots"
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "base.json"
+        saved = save_baseline(path, [finding()])
+        assert load_baseline(path) == saved
+        # file is stable, reviewable JSON with a trailing newline
+        assert path.read_text().endswith("\n")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ConfigError, match="version"):
+            load_baseline(path)
+
+    def test_malformed(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"version": BASELINE_VERSION}))
+        with pytest.raises(ConfigError, match="malformed"):
+            load_baseline(path)
+
+
+class TestDiff:
+    def test_new_known_fixed(self):
+        known = finding()
+        gone = finding(scope="false1/bad-fs/t4")
+        baseline = baseline_payload([known, gone])
+        fresh = finding(rule="FS007", scope="pmatmult/bad-fs/t4")
+        diff = diff_findings([known, fresh], baseline)
+        assert [f.fingerprint for f in diff.known] == [known.fingerprint]
+        assert [f.fingerprint for f in diff.new] == [fresh.fingerprint]
+        assert [e["fingerprint"] for e in diff.fixed] == [gone.fingerprint]
+        assert not diff.clean
+
+    def test_clean_when_all_known(self):
+        baseline = baseline_payload([finding()])
+        diff = diff_findings([finding()], baseline)
+        assert diff.clean
+        assert "0 new" in diff.render()
+        assert diff.to_dict()["counts"] == {"new": 0, "known": 1, "fixed": 0}
+
+    def test_render_flags_new_and_fixed(self):
+        diff = diff_findings([finding()], baseline_payload(
+            [finding(scope="false1/bad-fs/t4")]))
+        out = diff.render()
+        assert "NEW" in out and "FIXED" in out
+
+    def test_empty_everything(self):
+        diff = diff_findings([], baseline_payload([]))
+        assert diff.clean
+        assert "no unsuppressed findings" in diff.render()
+
+
+class TestFindingRoundTrip:
+    def test_json_round_trip_preserves_fingerprint(self):
+        f = finding()
+        back = Finding.from_dict(json.loads(json.dumps(f.to_dict())))
+        assert back.fingerprint == f.fingerprint
+        assert back.objects == f.objects
+        assert back.scope == f.scope
+        assert back.to_dict() == f.to_dict()
+
+    def test_from_dict_ignores_stored_fingerprint(self):
+        d = finding().to_dict()
+        d["fingerprint"] = "spoofed"
+        assert Finding.from_dict(d).fingerprint == finding().fingerprint

@@ -1,0 +1,109 @@
+"""Tests for the trace-free predictive analyzer."""
+
+import pytest
+
+from repro.analysis.predict import PredictiveAnalyzer, predict_plan
+from repro.analysis.sharing import StaticSharingAnalyzer
+from repro.workloads.base import RunConfig
+from repro.workloads.registry import all_workloads, get_workload
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return PredictiveAnalyzer()
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return StaticSharingAnalyzer()
+
+
+def _cfg(w, mode, threads=4):
+    t = threads if w.kind == "mt" else 1
+    return RunConfig(threads=t, mode=mode, size=w.train_sizes[0],
+                     pattern="random")
+
+
+class TestVerdictParity:
+    """The symbolic verdict must match the trace-based one on the grid."""
+
+    @pytest.mark.parametrize(
+        "workload", all_workloads(), ids=lambda w: w.name)
+    def test_predict_matches_static(self, workload, predictor, analyzer):
+        for mode in sorted(workload.modes, key=lambda m: m.value):
+            cfg = _cfg(workload, mode)
+            pred = predictor.analyze(workload.plan(cfg))
+            static = analyzer.analyze(workload.trace(cfg))
+            assert pred.verdict == static.verdict, (
+                f"{workload.name}/{mode.value}: predicted {pred.verdict}, "
+                f"trace says {static.verdict}")
+
+
+class TestPlanFidelity:
+    def test_counts_match_trace(self, predictor):
+        w = get_workload("psums")
+        cfg = _cfg(w, "bad-fs")
+        plan = w.plan(cfg)
+        trace = w.trace(cfg)
+        assert plan.total_accesses == trace.total_accesses
+        assert plan.total_instructions == trace.total_instructions
+
+    def test_fs_lines_name_the_slots(self, predictor):
+        w = get_workload("psums")
+        pred = predictor.analyze(w.plan(_cfg(w, "bad-fs")))
+        assert pred.verdict == "bad-fs"
+        hot = pred.false_shared()
+        assert hot
+        names = {n for pl in hot for n in pl.objects}
+        assert any(n.startswith("psum[") for n in names)
+
+    def test_good_mode_clean(self, predictor):
+        w = get_workload("psums")
+        pred = predictor.analyze(w.plan(_cfg(w, "good")))
+        assert pred.verdict == "good"
+        assert not pred.false_shared()
+
+    def test_handoff_not_contended(self, predictor):
+        # pmatmult/good block-partitions rows: boundary lines are shared
+        # but visited at disjoint times — a hand-off, not contention.
+        w = get_workload("pmatmult")
+        pred = predictor.analyze(w.plan(_cfg(w, "good")))
+        assert pred.verdict == "good"
+
+    def test_bad_ma_hostility(self, predictor):
+        w = get_workload("seq_rmw")
+        pred = predictor.analyze(w.plan(_cfg(w, "bad-ma")))
+        assert pred.verdict == "bad-ma"
+        assert pred.hostile_threads == [0]
+
+
+class TestPredictionSurface:
+    @pytest.fixture(scope="class")
+    def pred(self):
+        w = get_workload("psums")
+        return predict_plan(w.plan(_cfg(w, "bad-fs")))
+
+    def test_category_counts_cover_all_lines(self, pred):
+        counts = pred.category_counts()
+        assert sum(counts.values()) == pred.n_lines
+        assert counts["false-shared"] >= 1
+
+    def test_object_sharing_ranks_fs_worst(self, pred):
+        sharing = pred.object_sharing()
+        assert sharing["psum[t0]"] == "false-shared"
+
+    def test_to_dict_stable_surface(self, pred):
+        d = pred.to_dict()
+        assert d["verdict"] == "bad-fs"
+        assert d["category_counts"]["false-shared"] >= 1
+        assert all("category" in pl for pl in d["shared_lines"])
+
+    def test_render_mentions_verdict_and_lines(self, pred):
+        out = pred.render()
+        assert "bad-fs" in out
+        assert "false-shared" in out
+        assert "0x" in out
+
+    def test_significance_drives_verdict(self, pred):
+        assert pred.fs_significance > 0
+        assert pred.has_false_sharing

@@ -1,0 +1,113 @@
+"""Tests for prediction validation against the shadow oracle."""
+
+import pytest
+
+from repro.analysis.validate import (
+    MIN_ORACLE_MISSES,
+    PredictionValidator,
+    canonical_case,
+    registry_grid,
+    suite_grid,
+)
+from repro.baselines.shadow import MAX_THREADS
+from repro.suites import all_programs
+from repro.workloads.base import RunConfig
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def validator():
+    return PredictionValidator()
+
+
+def small_grid(names=("psums", "false1", "seq_rmw")):
+    grid = []
+    for name in names:
+        w = get_workload(name)
+        t = 4 if w.kind == "mt" else 1
+        for mode in sorted(w.modes, key=lambda m: m.value):
+            grid.append((w, RunConfig(threads=t, mode=mode,
+                                      size=w.train_sizes[0],
+                                      pattern="random")))
+    return grid
+
+
+class TestGrids:
+    def test_registry_grid_covers_every_mode(self):
+        grid = registry_grid()
+        seen = {(w.name, cfg.mode.value) for w, cfg in grid}
+        w = get_workload("psums")
+        for mode in w.modes:
+            assert ("psums", mode.value) in seen
+
+    def test_registry_grid_seq_single_threaded(self):
+        for w, cfg in registry_grid():
+            if w.kind == "seq":
+                assert cfg.threads == 1
+
+    def test_canonical_case_respects_oracle_cap(self):
+        for p in all_programs():
+            case = canonical_case(p)
+            assert case.threads <= MAX_THREADS
+            assert case.input_set == p.inputs[0]
+            assert case.opt == p.opts[0]
+
+    def test_suite_grid_is_full_suite(self):
+        assert len(suite_grid()) == len(all_programs())
+
+
+class TestRegistryValidation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return PredictionValidator().validate_registry(small_grid())
+
+    def test_perfect_line_metrics_on_subset(self, report):
+        assert report.micro_precision == 1.0
+        assert report.micro_recall == 1.0
+
+    def test_verdict_agreement(self, report):
+        assert report.verdict_agreement == 1.0
+
+    def test_unambiguous_cases_all_agree(self, report):
+        agree, total = report.unambiguous_agreement()
+        assert total >= 1
+        assert agree == total
+
+    def test_all_disagreements_explained(self, report):
+        assert report.all_explained()
+
+    def test_case_surface(self, report):
+        bad = [c for c in report.cases if "bad-fs" in c.scope]
+        assert bad
+        for c in bad:
+            assert c.predict_verdict == "bad-fs"
+            assert c.shadow_fs
+            assert c.matched  # oracle attributes misses to predicted lines
+
+    def test_render_and_dict(self, report):
+        out = report.render()
+        assert "precision" in out and "recall" in out
+        d = report.to_dict()
+        assert d["n_cases"] == len(report.cases)
+        assert d["line_precision"] == 1.0
+        assert d["unambiguous_agreement"]["agree"] == \
+            d["unambiguous_agreement"]["total"]
+
+
+class TestExplanations:
+    def test_oracle_floor_is_positive(self):
+        assert MIN_ORACLE_MISSES >= 1
+
+    def test_suite_case_explained(self, validator):
+        # fluidanimate's boundary lines realize as hand-offs: predicted
+        # contention stays below significance, and the harness must
+        # explain (not just count) the line-level gap.
+        (pair,) = [(p, canonical_case(p)) for p in all_programs()
+                   if p.name == "fluidanimate"]
+        report = validator.validate_suite([pair])
+        (case,) = report.cases
+        assert case.recall == 1.0
+        assert case.fs_agreement
+        assert not case.unexplained
+        if case.predicted_only:
+            assert case.explanations

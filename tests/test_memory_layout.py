@@ -115,3 +115,75 @@ class TestArrayLayout:
         a = ArrayLayout(base=0, elem_size=elem, length=length)
         addrs = a.addrs()
         assert (np.diff(addrs) >= elem).all()
+
+
+LINE_SIZES = st.sampled_from([16, 32, 64, 128, 256])
+ADDRS = st.integers(0, 1 << 40)
+
+
+class TestGeometryProperties:
+    """Hypothesis sweeps over the line-geometry edge cases."""
+
+    @given(ADDRS, LINE_SIZES)
+    def test_line_offset_decomposition(self, addr, line_size):
+        # line index and in-line offset must reassemble the address
+        assert (int(line_of(addr, line_size)) * line_size
+                + int(offset_in_line(addr, line_size))) == addr
+        assert 0 <= offset_in_line(addr, line_size) < line_size
+
+    @given(ADDRS, LINE_SIZES)
+    def test_shares_line_is_reflexive_and_local(self, addr, line_size):
+        assert shares_line(addr, addr, line_size)
+        last = addr - offset_in_line(addr, line_size) + line_size - 1
+        assert shares_line(addr, last, line_size)
+        assert not shares_line(addr, last + 1, line_size)
+
+    @given(ADDRS, st.integers(1, 8).map(lambda k: 1 << k))
+    def test_align_up_idempotent(self, addr, align):
+        out = align_up(addr, align)
+        assert align_up(out, align) == out
+        assert out % align == 0
+        assert 0 <= out - addr < align
+
+    @given(st.sampled_from([3, 5, 6, 12, 48, 96]))
+    def test_non_power_of_two_line_size_rejected(self, line_size):
+        with pytest.raises(ValueError):
+            line_of(0, line_size)
+        with pytest.raises(ValueError):
+            offset_in_line(1, line_size)
+
+    @given(ADDRS.filter(lambda a: a % LINE_SIZE != 0))
+    def test_default_line_size_consistency(self, addr):
+        # the LINE_SHIFT fast path must equal the generic path
+        assert line_of(addr) == line_of(addr, LINE_SIZE)
+        assert offset_in_line(addr) == offset_in_line(addr, LINE_SIZE)
+
+
+class TestLayoutProperties:
+    @given(st.integers(0, 1 << 20), st.integers(1, 64))
+    def test_zero_length_array_is_invisible(self, base, elem):
+        a = ArrayLayout(base=base, elem_size=elem, length=0)
+        assert a.size_bytes == 0
+        assert a.lines_spanned() == 0
+        assert a.addrs().size == 0
+        with pytest.raises(IndexError):
+            a.addr(0)
+
+    @given(st.integers(0, 4 * LINE_SIZE), st.integers(1, 32),
+           st.integers(1, 100))
+    def test_straddling_base_spans_enough_lines(self, base, elem, length):
+        # lines_spanned must match the first/last byte's lines exactly,
+        # including bases that straddle a boundary mid-element
+        a = ArrayLayout(base=base, elem_size=elem, length=length)
+        first = int(line_of(a.base))
+        last = int(line_of(a.end - 1))
+        assert a.lines_spanned() == last - first + 1
+
+    @given(st.integers(0, 1 << 20), st.integers(1, 16),
+           st.integers(2, 50), st.integers(0, 4))
+    def test_stride_padding_never_shrinks_span(self, base, elem, length,
+                                               pad):
+        packed = ArrayLayout(base=base, elem_size=elem, length=length)
+        padded = ArrayLayout(base=base, elem_size=elem, length=length,
+                             stride=elem + pad)
+        assert padded.lines_spanned() >= packed.lines_spanned()
