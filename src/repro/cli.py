@@ -16,8 +16,11 @@
 * ``repro-serve`` — online detection service: JSON-lines TCP server with
   batched compiled-tree inference, plus its client, load generator and
   latency benchmark (``BENCH_serve.json``);
-* ``repro <perf|train|detect|analyze|bench|serve|experiment> ...`` —
-  umbrella command dispatching to the above.
+* ``repro-results`` — durable run store: ingest bench/serve/manifest/
+  crosscheck payloads into an append-only SQLite history and gate the
+  latest run against its trajectory (rolling median ± MAD);
+* ``repro <perf|train|detect|analyze|bench|serve|results|experiment> ...``
+  — umbrella command dispatching to the above.
 """
 
 from __future__ import annotations
@@ -532,6 +535,13 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     return _serve_main(argv)
 
 
+def results_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Durable run store CLI (``repro-results``)."""
+    from repro.results.cli import results_main as _results_main
+
+    return _results_main(argv)
+
+
 _SUBCOMMANDS = {
     "perf": perf_main,
     "train": train_main,
@@ -539,6 +549,7 @@ _SUBCOMMANDS = {
     "analyze": analyze_main,
     "bench": bench_main,
     "serve": serve_main,
+    "results": results_main,
 }
 
 
@@ -571,6 +582,10 @@ def experiment_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("ids", nargs="*",
                         help="experiment ids (default: list them)")
     parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument("--results-store", default="",
+                        help="ingest ingestable experiment summaries "
+                             "(crosscheck, predict-validation) into this "
+                             "repro-results store")
     _add_jobs_option(parser)
     args = parser.parse_args(argv)
     from repro.experiments import experiment_ids, run_experiment
@@ -589,6 +604,20 @@ def experiment_main(argv: Optional[Sequence[str]] = None) -> int:
             result = run_experiment(eid)
             print(result)
             print()
+            if args.results_store and result.data:
+                from repro.errors import ResultsError
+                from repro.results.schema import classify_payload
+                from repro.results.store import ResultsStore
+
+                try:
+                    classify_payload(result.data)
+                except ResultsError:
+                    continue  # not every experiment emits a trendable doc
+                with ResultsStore(args.results_store) as store:
+                    outcome = store.ingest(result.data, source=eid)
+                print(f"results: run #{outcome.run_id} [{outcome.kind}] "
+                      f"-> {args.results_store}"
+                      + ("" if outcome.fresh else " (deduped)"))
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

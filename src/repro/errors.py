@@ -57,3 +57,8 @@ class TelemetryError(ReproError):
 
 class ServeError(ReproError):
     """The online detection service hit a protocol or lifecycle error."""
+
+
+class ResultsError(ReproError):
+    """The durable run store is corrupt, mis-versioned, or fed an
+    unrecognized payload."""

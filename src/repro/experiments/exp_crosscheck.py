@@ -27,7 +27,10 @@ def crosscheck(ctx: PipelineContext) -> ExperimentResult:
         exp_id="crosscheck",
         title="Predict × static × shadow × tree disagreement matrix",
         text=report.render(),
+        # The "report" tag makes this document self-describing so the
+        # durable run store (repro.results) can classify and ingest it.
         data={
+            "report": "crosscheck",
             "cases": [r.to_dict() for r in report.records],
             "pairwise_fs_agreement": report.pairwise_fs_agreement(),
             "disagreements": [r.case_id for r in report.disagreements()],
@@ -52,7 +55,11 @@ def predict_validation(ctx: PipelineContext) -> ExperimentResult:
         exp_id="predict-validation",
         title="Predicted false-shared lines vs shadow-oracle attribution",
         text=text,
-        data={"registry": registry.to_dict(), "suite": suite.to_dict()},
+        # Tagged for the durable run store, like the crosscheck payload:
+        # registry/suite accuracy summaries trend across commits.
+        data={"report": "predict-validation",
+              "registry": registry.to_dict(),
+              "suite": suite.to_dict()},
         paper="beyond the paper: line-level precision/recall of the "
               "symbolic predictor against [33]'s per-line false-sharing "
               "miss attribution, over the mini-program registry and the "

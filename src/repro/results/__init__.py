@@ -1,0 +1,62 @@
+"""``repro.results``: durable run store + trajectory-aware CI gating.
+
+Turns the repo's scattered one-shot artifacts (``BENCH_simulator.json``,
+``BENCH_serve.json``, run manifests, crosscheck / prediction-validation
+summaries) into one append-only queryable history, and replaces pairwise
+baseline diffs with rolling median ± MAD regression detection.  See
+``docs/RESULTS.md`` for the schema, the gate math and the CI wiring.
+"""
+
+from repro.results.gate import (
+    DEFAULT_MAX_REGRESSION,
+    GateReport,
+    GateRow,
+    gate_store,
+    render_gate_markdown,
+)
+from repro.results.schema import (
+    PAYLOAD_KINDS,
+    STORE_SCHEMA,
+    Metric,
+    classify_payload,
+    extract_metrics,
+    payload_digest,
+)
+from repro.results.store import IngestOutcome, ResultsStore, RunRow
+from repro.results.trend import (
+    DEFAULT_MAD_K,
+    DEFAULT_WINDOW,
+    MIN_TRAJECTORY,
+    Band,
+    TrendRow,
+    mad_band,
+    render_trend_markdown,
+    render_trend_table,
+    trend_rows,
+)
+
+__all__ = [
+    "Band",
+    "DEFAULT_MAD_K",
+    "DEFAULT_MAX_REGRESSION",
+    "DEFAULT_WINDOW",
+    "GateReport",
+    "GateRow",
+    "IngestOutcome",
+    "Metric",
+    "MIN_TRAJECTORY",
+    "PAYLOAD_KINDS",
+    "ResultsStore",
+    "RunRow",
+    "STORE_SCHEMA",
+    "TrendRow",
+    "classify_payload",
+    "extract_metrics",
+    "gate_store",
+    "mad_band",
+    "payload_digest",
+    "render_gate_markdown",
+    "render_trend_markdown",
+    "render_trend_table",
+    "trend_rows",
+]

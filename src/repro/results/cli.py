@@ -1,0 +1,212 @@
+"""``repro-results``: the durable run store's command line.
+
+* ``repro-results ingest STORE FILE...`` — classify and append payloads
+  (bench, serve, manifest, crosscheck, validation); re-ingesting a
+  payload already in the store dedups on its content digest;
+* ``repro-results list STORE`` — every ingested run with provenance;
+* ``repro-results trend STORE`` — per-metric trajectory table (rolling
+  median ± MAD band over the last N runs); ``--markdown`` emits a
+  GitHub-flavored table for ``$GITHUB_STEP_SUMMARY``;
+* ``repro-results gate STORE`` — trajectory-aware regression gate (exit
+  0 pass / 1 regression / 2 error); small histories fall back to the
+  classic pairwise rule, hard floors always apply;
+* ``repro-results export STORE OUT.json`` — Parquet-style column-major
+  JSON export of the whole history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.results.gate import (
+    DEFAULT_MAX_REGRESSION,
+    gate_store,
+    render_gate_markdown,
+)
+from repro.results.store import ResultsStore
+from repro.results.trend import (
+    DEFAULT_WINDOW,
+    MIN_TRAJECTORY,
+    render_trend_markdown,
+    render_trend_table,
+    trend_rows,
+)
+
+__all__ = ["results_main"]
+
+
+def _add_store_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("store", help="path to the results store "
+                                 "(created on first ingest)")
+
+
+def _add_kind_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--kind", default="",
+                   help="restrict to one payload kind "
+                        "(bench, serve, manifest, crosscheck, validate)")
+
+
+def results_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-results",
+        description="Append-only run store + trajectory-aware regression "
+                    "gate over bench/serve/manifest/crosscheck payloads.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    ingest = sub.add_parser("ingest",
+                            help="append payload JSON files to the store")
+    _add_store_arg(ingest)
+    ingest.add_argument("files", nargs="+", help="payload JSON files")
+
+    lst = sub.add_parser("list", help="list ingested runs")
+    _add_store_arg(lst)
+    _add_kind_arg(lst)
+
+    trend = sub.add_parser("trend", help="per-metric trajectory table")
+    _add_store_arg(trend)
+    _add_kind_arg(trend)
+    trend.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                       help="rolling-window length (default: %(default)s)")
+    trend.add_argument("--markdown", action="store_true",
+                       help="GitHub-flavored markdown (for job summaries)")
+    trend.add_argument("--output", default="",
+                       help="also write the table to this file")
+    trend.add_argument("--fail-empty", action="store_true",
+                       help="exit 1 when the store has no metrics "
+                            "(CI smoke assertion)")
+
+    gate = sub.add_parser("gate",
+                          help="gate the latest run of each kind against "
+                               "its history")
+    _add_store_arg(gate)
+    _add_kind_arg(gate)
+    gate.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                      help="history window per metric "
+                           "(default: %(default)s)")
+    gate.add_argument("--min-history", type=int, default=MIN_TRAJECTORY,
+                      help="prior runs needed before median±MAD bands "
+                           "replace the pairwise rule "
+                           "(default: %(default)s)")
+    gate.add_argument("--max-regression", type=float,
+                      default=DEFAULT_MAX_REGRESSION,
+                      help="pairwise-fallback tolerance and minimum "
+                           "band half-width (default: %(default)s)")
+    gate.add_argument("--markdown", default="",
+                      help="also write a markdown verdict table here "
+                           "(e.g. $GITHUB_STEP_SUMMARY)")
+
+    export = sub.add_parser("export",
+                            help="columnar (Parquet-style) JSON export")
+    _add_store_arg(export)
+    export.add_argument("output", help="export file path")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.cmd == "ingest":
+            return _cmd_ingest(args)
+        if args.cmd == "list":
+            return _cmd_list(args)
+        if args.cmd == "trend":
+            return _cmd_trend(args)
+        if args.cmd == "gate":
+            return _cmd_gate(args)
+        if args.cmd == "export":
+            return _cmd_export(args)
+        parser.error(f"unknown command {args.cmd!r}")
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_ingest(args) -> int:
+    with ResultsStore(args.store) as store:
+        for path in args.files:
+            outcome = store.ingest_file(path)
+            state = "ingested" if outcome.fresh else "deduped"
+            print(f"{state}: {path} -> run #{outcome.run_id} "
+                  f"[{outcome.kind}] digest {outcome.digest[:12]}")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.utils.tables import render_table
+
+    with ResultsStore(args.store) as store:
+        runs = store.runs(kind=args.kind or None)
+        rows = [
+            [str(r.run_id), r.kind,
+             time.strftime("%Y-%m-%d %H:%M", time.gmtime(r.created_unix)),
+             r.git_branch, r.git_sha[:10], r.host, r.source or "-",
+             str(len(store.metrics_for(r.run_id)))]
+            for r in runs
+        ]
+    if not rows:
+        print("no runs in store")
+        return 0
+    print(render_table(
+        ["run", "kind", "created (UTC)", "branch", "commit", "host",
+         "source", "metrics"],
+        rows, title=f"{len(rows)} ingested run(s)"))
+    return 0
+
+
+def _cmd_trend(args) -> int:
+    with ResultsStore(args.store) as store:
+        rows = trend_rows(store, kind=args.kind or None,
+                          window=args.window)
+    text = (render_trend_markdown(rows) if args.markdown
+            else render_trend_table(rows))
+    print(text)
+    if args.output:
+        from pathlib import Path
+
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+    if args.fail_empty and not rows:
+        print("error: store has no metric rows", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_gate(args) -> int:
+    with ResultsStore(args.store) as store:
+        report = gate_store(
+            store,
+            kind=args.kind or None,
+            window=args.window,
+            min_history=args.min_history,
+            max_regression=args.max_regression,
+        )
+    print(report.render())
+    if args.markdown:
+        from pathlib import Path
+
+        out = Path(args.markdown)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("a") as fh:
+            fh.write(render_gate_markdown(report) + "\n")
+    if report.ok:
+        print("results gate: PASS")
+        return 0
+    print(f"results gate: FAIL ({len(report.regressions)} regression(s), "
+          f"{len(report.missing)} missing metric(s))", file=sys.stderr)
+    return 1
+
+
+def _cmd_export(args) -> int:
+    with ResultsStore(args.store) as store:
+        out = store.export_columnar(args.output)
+        n = len(store.runs())
+    print(f"exported {n} run(s) -> {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(results_main())

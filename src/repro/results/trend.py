@@ -1,0 +1,211 @@
+"""Trajectory statistics over the run store: rolling median + MAD bands.
+
+Röhl et al. (PAPERS.md) show that hardware-counter-derived metrics carry
+run-to-run noise that a single sample cannot characterize — which is
+exactly what the old pairwise CI gate did: compare one fresh number
+against one committed number.  This module replaces that with robust
+location/scale estimates over the last *N* ingested runs per metric:
+
+* location: the **median** of the rolling window (outlier-immune, unlike
+  the mean a single hot CI runner would drag);
+* scale: the **median absolute deviation** (MAD), scaled by 1.4826 so it
+  estimates a standard deviation under normal noise;
+* band: ``median ± K·1.4826·MAD``, half-width floored at
+  ``max_regression · |median|`` so a perfectly quiet history (MAD = 0 —
+  e.g. deduped re-ingests of one artifact) degrades to the classic
+  pairwise tolerance instead of a zero-width band that flags everything.
+
+The same numbers back both the ``repro-results trend`` table (human /
+``$GITHUB_STEP_SUMMARY`` views) and the ``gate`` verdicts in
+:mod:`repro.results.gate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ResultsError
+from repro.results.store import ResultsStore
+
+__all__ = [
+    "MAD_SCALE",
+    "DEFAULT_MAD_K",
+    "DEFAULT_WINDOW",
+    "MIN_TRAJECTORY",
+    "Band",
+    "TrendRow",
+    "mad_band",
+    "trend_rows",
+    "render_trend_table",
+    "render_trend_markdown",
+]
+
+#: Consistency constant: MAD × 1.4826 estimates σ for normal noise.
+MAD_SCALE = 1.4826
+
+#: Band half-width in (scaled) MADs.  3σ-equivalent: a metric has to
+#: leave a 99.7%-of-noise envelope before the gate calls it a regression.
+DEFAULT_MAD_K = 3.0
+
+#: Rolling-window length (runs per metric) for median/MAD estimation.
+DEFAULT_WINDOW = 8
+
+#: Minimum history length for trajectory bands.  Below this the gate
+#: falls back to pairwise comparison (N ≥ 1) or hard bounds only (N = 0):
+#: a median/MAD over one or two points is not an estimate, it is the
+#: sample, and dividing by its zero MAD is exactly the failure mode the
+#: small-history fallback exists to avoid.
+MIN_TRAJECTORY = 3
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        raise ResultsError("median of an empty series")
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass(frozen=True)
+class Band:
+    """A robust noise envelope around a metric's recent history."""
+
+    median: float
+    mad: float
+    lo: float
+    hi: float
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+
+def mad_band(
+    values: Sequence[float],
+    max_regression: float = 0.30,
+    k: float = DEFAULT_MAD_K,
+) -> Band:
+    """The ``median ± K·1.4826·MAD`` band over ``values``.
+
+    The half-width never shrinks below ``max_regression · |median|``:
+    the trajectory gate is allowed to be *more* tolerant than the old
+    pairwise gate when history is noisy, never stricter when history is
+    quiet.  With that floor the band is well-defined for any non-empty
+    series — MAD = 0 cannot divide, zero, or pin anything.
+    """
+    if not values:
+        raise ResultsError("cannot band an empty metric series")
+    med = _median(values)
+    mad = _median([abs(v - med) for v in values])
+    half = max(k * MAD_SCALE * mad, max_regression * abs(med))
+    return Band(median=med, mad=mad, lo=med - half, hi=med + half)
+
+
+@dataclass(frozen=True)
+class TrendRow:
+    """One metric's trajectory summary (the ``trend`` table row)."""
+
+    kind: str
+    name: str
+    unit: str
+    direction: str
+    n: int
+    latest: float
+    band: Optional[Band]
+    bound: Optional[float]
+
+    @property
+    def status(self) -> str:
+        """``ok`` / ``drift`` / ``short`` (not enough history to band)."""
+        if self.band is None:
+            return "short"
+        if self.direction == "higher" and self.latest < self.band.lo:
+            return "drift"
+        if self.direction == "lower" and self.latest > self.band.hi:
+            return "drift"
+        if self.direction == "info" and not self.band.contains(self.latest):
+            return "drift"
+        return "ok"
+
+
+def trend_rows(
+    store: ResultsStore,
+    kind: Optional[str] = None,
+    window: int = DEFAULT_WINDOW,
+    max_regression: float = 0.30,
+    k: float = DEFAULT_MAD_K,
+) -> List[TrendRow]:
+    """Trajectory summaries for every metric of every (selected) kind.
+
+    The band for each metric is computed over its *previous* values (the
+    latest value is the point under scrutiny, not part of its own
+    envelope) and only once at least :data:`MIN_TRAJECTORY` prior points
+    exist.
+    """
+    kinds = [kind] if kind is not None else store.kinds()
+    rows: List[TrendRow] = []
+    for k_ in kinds:
+        latest = store.latest_run(k_)
+        if latest is None:
+            continue
+        for metric in store.metrics_for(latest.run_id):
+            history = store.series(metric.name, kind=k_,
+                                   before_run=latest.run_id, limit=window)
+            band = (mad_band(history, max_regression=max_regression, k=k)
+                    if len(history) >= MIN_TRAJECTORY else None)
+            rows.append(TrendRow(
+                kind=k_,
+                name=metric.name,
+                unit=metric.unit,
+                direction=metric.direction,
+                n=len(history) + 1,
+                latest=metric.value,
+                band=band,
+                bound=store.max_bound(metric.name, metric.direction,
+                                      kind=k_),
+            ))
+    return rows
+
+
+def _fmt(v: Optional[float]) -> str:
+    if v is None:
+        return "-"
+    return f"{v:,.0f}" if abs(v) >= 100 else f"{v:.4g}"
+
+
+def _table_cells(rows: Sequence[TrendRow]) -> List[List[str]]:
+    return [
+        [r.kind, r.name, str(r.n), _fmt(r.latest),
+         _fmt(r.band.median if r.band else None),
+         (f"[{_fmt(r.band.lo)}, {_fmt(r.band.hi)}]" if r.band else "-"),
+         _fmt(r.bound), r.direction, r.status]
+        for r in rows
+    ]
+
+
+_HEADERS = ["kind", "metric", "n", "latest", "median", "band",
+            "bound", "dir", "status"]
+
+
+def render_trend_table(rows: Sequence[TrendRow]) -> str:
+    """ASCII trend table (the ``repro-results trend`` output)."""
+    from repro.utils.tables import render_table
+
+    if not rows:
+        return "no runs in store"
+    return render_table(_HEADERS, _table_cells(rows),
+                        title="metric trajectories (rolling median ± MAD)")
+
+
+def render_trend_markdown(rows: Sequence[TrendRow]) -> str:
+    """GitHub-flavored markdown table for ``$GITHUB_STEP_SUMMARY``."""
+    if not rows:
+        return "_no runs in store_"
+    lines = ["| " + " | ".join(_HEADERS) + " |",
+             "|" + "---|" * len(_HEADERS)]
+    for cells in _table_cells(rows):
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -118,6 +118,9 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     bench.add_argument("--min-rps", type=float, default=0.0,
                        help="fail (exit 1) below this throughput "
                             "(default: no floor)")
+    bench.add_argument("--results-store", default="",
+                       help="also ingest the result document into this "
+                            "repro-results store")
     bench.add_argument("--seed", type=int, default=0)
 
     ping = sub.add_parser("ping", help="liveness probe")
@@ -248,6 +251,14 @@ def _cmd_bench(args) -> int:
     out = Path(args.output)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n")
+    if args.results_store:
+        from repro.results.store import ResultsStore
+
+        with ResultsStore(args.results_store) as store:
+            outcome = store.ingest(payload, source=out.name)
+        print(f"results: run #{outcome.run_id} [{outcome.kind}] -> "
+              f"{args.results_store}"
+              + ("" if outcome.fresh else " (deduped)"))
     lat = result.latency_ms
     print(f"result: {out}")
     print(f"  throughput      {result.throughput_rps:12,.0f} req/s "

@@ -29,7 +29,12 @@ from repro.telemetry.export import (
     export_json,
     spans_from_json,
 )
-from repro.telemetry.manifest import RunManifest, git_revision
+from repro.telemetry.manifest import (
+    RunManifest,
+    git_branch,
+    git_revision,
+    host_fingerprint,
+)
 
 __all__ = [
     "TELEMETRY",
@@ -43,4 +48,6 @@ __all__ = [
     "spans_from_json",
     "RunManifest",
     "git_revision",
+    "git_branch",
+    "host_fingerprint",
 ]

@@ -85,6 +85,43 @@ ROUTING_FLOOR = 0.95
 #: this seed tags the manifest (the grid itself takes no free seed).
 BENCH_SEED = 0
 
+#: Top-level payload sections the gate understands.  Anything else in a
+#: gated payload is a hard error: a new section the comparison silently
+#: ignores is exactly the kind of drift that let a shrunken baseline
+#: pass before (see :func:`_check_sections`).
+KNOWN_SECTIONS = frozenset({
+    "bench", "mode", "cpus", "jobs", "repeats",
+    "drive", "routing", "store_workers", "telemetry", "e2e",
+})
+
+
+def _check_sections(payload: Dict[str, Any], role: str) -> None:
+    """Refuse unknown or missing sections in a gated payload.
+
+    ``drive`` is the section every gate verdict hangs off: a payload
+    without it (or with an empty one) used to sail through the
+    comparison with zero rows and exit 0.  Unknown sections fail for the
+    dual reason — the gate has no rule for them, so letting them in
+    would mean whatever they measure is silently ungated.
+    """
+    unknown = sorted(set(payload) - KNOWN_SECTIONS)
+    if unknown:
+        raise TelemetryError(
+            f"{role} payload carries unknown section(s) {unknown}: the "
+            "gate has no rule for them — teach compare_payloads about "
+            "the new section (and add it to KNOWN_SECTIONS) instead of "
+            "letting it ride ungated")
+    drive = payload.get("drive")
+    if not isinstance(drive, dict) or not drive:
+        raise TelemetryError(
+            f"{role} payload has no 'drive' section (or an empty one): "
+            "refusing to gate nothing and exit 0 — regenerate the "
+            "payload with repro-bench, or fix the committed baseline")
+    for label, row in drive.items():
+        if not isinstance(row, dict):
+            raise TelemetryError(
+                f"{role} drive row {label!r} is not an object")
+
 
 def drive_traces() -> Iterator[Tuple[str, Any]]:
     """The pinned drive-throughput grid: ``(label, ProgramTrace)`` pairs.
@@ -443,16 +480,28 @@ def compare_payloads(
     also demands it of the current run.  Baseline labels missing from the
     current run fail the gate; new labels absent from the baseline are
     ignored (they gate once the baseline is refreshed).
+
+    Both payloads are shape-checked first (:func:`_check_sections`): a
+    missing/empty ``drive`` section, a baseline row without a positive
+    throughput, or an unknown top-level section is a hard
+    :class:`TelemetryError` (exit 2), never a silent exit 0.
     """
     if not 0 <= max_regression < 1:
         raise TelemetryError("max_regression must be in [0, 1)")
+    _check_sections(current, "current")
+    _check_sections(baseline, "baseline")
     comparison = BenchComparison(max_regression=max_regression)
     floor = 1.0 - max_regression
     cur_drive = current.get("drive") or {}
     for label, base_row in sorted((baseline.get("drive") or {}).items()):
         base_v = float(base_row.get("fast_accesses_per_s", 0) or 0)
         if base_v <= 0:
-            continue
+            # Skipping here used to let a truncated baseline shrink the
+            # gate one row at a time without anyone noticing.
+            raise TelemetryError(
+                f"baseline drive row {label!r} has no positive "
+                "fast_accesses_per_s — the gate cannot key on it; "
+                "regenerate the baseline")
         cur_row = cur_drive.get(label)
         if cur_row is None:
             comparison.missing.append(label)
@@ -559,6 +608,9 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--coverage-report", default="",
                         help="write the auto-routing coverage report (text) "
                              "here — uploaded as a CI artifact")
+    parser.add_argument("--results-store", default="",
+                        help="also ingest the result payload (and manifest, "
+                             "in run mode) into this repro-results store")
     parser.add_argument("-j", "--jobs", type=int, default=0,
                         help="worker processes for the full-mode pipeline")
     args = parser.parse_args(argv)
@@ -626,6 +678,19 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"  store workers: {sw.get('workers', 0)} memmap "
                       f"worker(s) over {sw.get('store_bytes', 0):,} B store, "
                       f"peak RSS {rss}")
+
+        if args.results_store:
+            from repro.results.store import ResultsStore
+
+            with ResultsStore(args.results_store) as store:
+                src = Path(args.input).name if args.input else out_path.name
+                outcome = store.ingest(payload, source=src)
+                print(f"results:  run #{outcome.run_id} "
+                      f"[{outcome.kind}] -> {args.results_store}"
+                      + ("" if outcome.fresh else " (deduped)"))
+                if not args.input:
+                    store.ingest(manifest.to_dict(),
+                                 source=manifest_path.name)
 
         if args.speedup_table:
             table_path = Path(args.speedup_table)

@@ -26,7 +26,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.telemetry.core import Telemetry
 
-__all__ = ["RunManifest", "git_revision"]
+__all__ = ["RunManifest", "git_revision", "git_branch", "host_fingerprint"]
 
 #: Manifest schema version; bump when the shape changes.
 MANIFEST_SCHEMA = "repro-manifest/1"
@@ -53,6 +53,39 @@ def git_revision(cwd: Union[str, Path, None] = None):
         return sha.stdout.strip(), dirty
     except (OSError, subprocess.SubprocessError):
         return "unknown", False
+
+
+def git_branch(cwd: Union[str, Path, None] = None) -> str:
+    """The checked-out branch name, or ``"unknown"``.
+
+    Degrades like :func:`git_revision` — detached HEADs (the common CI
+    checkout state) report ``"HEAD"``, which is still a stable key for
+    the results store.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--abbrev-ref", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+        if out.returncode != 0 or not out.stdout.strip():
+            return "unknown"
+        return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def host_fingerprint() -> str:
+    """Short stable identifier of the measuring host.
+
+    Hashes the platform string and core count — enough to separate
+    trajectories recorded on different runner classes (Röhl et al.:
+    counter-derived numbers are only comparable within one validated
+    harness) without leaking a hostname into shared artifacts.
+    """
+    import hashlib
+
+    raw = f"{platform.platform()}|{os.cpu_count() or 0}"
+    return hashlib.blake2b(raw.encode("utf-8"), digest_size=6).hexdigest()
 
 
 @dataclass

@@ -353,3 +353,58 @@ def test_measure_routing_shape_on_real_grid_is_gated_in_ci():
     # it via repro-bench.  Here we only pin the contract the gate relies
     # on: the floor constant itself.
     assert bench_mod.ROUTING_FLOOR == 0.95
+
+
+# ------------------------------------------- silent-drift section guard
+
+
+def test_compare_rejects_baseline_without_drive_section():
+    # The silent-drift hazard: a baseline missing the section the gate
+    # keys on used to produce zero comparison rows and exit 0.
+    for broken in ({}, {"drive": {}}, {"e2e": {"parallel_fast_s": 1.0}}):
+        with pytest.raises(TelemetryError) as err:
+            compare_payloads(_payload(), broken)
+        assert "drive" in str(err.value)
+
+
+def test_compare_rejects_current_without_drive_section():
+    with pytest.raises(TelemetryError):
+        compare_payloads({"bench": "simulator-throughput"}, _payload())
+
+
+def test_compare_rejects_unknown_sections():
+    mystery = _payload()
+    mystery["shiny_new_numbers"] = {"x": 1}
+    with pytest.raises(TelemetryError) as err:
+        compare_payloads(_payload(), mystery)
+    assert "shiny_new_numbers" in str(err.value)
+    assert "KNOWN_SECTIONS" in str(err.value)
+    with pytest.raises(TelemetryError):
+        compare_payloads(mystery, _payload())
+
+
+def test_compare_rejects_baseline_row_without_throughput():
+    base = _payload()
+    base["drive"]["psums/good/t4"] = {"speedup": 2.0}  # key dropped
+    with pytest.raises(TelemetryError) as err:
+        compare_payloads(_payload(), base)
+    assert "fast_accesses_per_s" in str(err.value)
+
+
+def test_cli_missing_section_is_exit_2_not_silent_pass(tmp_path, capsys):
+    cur = _write(tmp_path / "cur.json", _payload())
+    truncated = dict(_payload())
+    del truncated["drive"]
+    base = _write(tmp_path / "base.json", truncated)
+    assert bench_main(["--input", cur, "--baseline", base]) == 2
+    assert "drive" in capsys.readouterr().err
+
+
+def test_committed_baseline_sections_are_all_known():
+    # BENCH_simulator.json must always load cleanly through the section
+    # guard — otherwise the CI gate would fail on its own baseline.
+    from pathlib import Path
+
+    repo = Path(__file__).parent.parent
+    doc = json.loads((repo / "BENCH_simulator.json").read_text())
+    assert set(doc) <= bench_mod.KNOWN_SECTIONS
