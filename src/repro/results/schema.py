@@ -14,7 +14,13 @@ already emits — the store ingests them as-is, no new wire format):
   coverage (with the routing floor), optional e2e wall time;
 * ``serve`` — ``repro-serve bench`` / ``BENCH_serve.json``: loadgen
   throughput, latency percentiles, shed/error counts (hard ceiling 0),
-  offline batch-inference throughput;
+  offline batch-inference throughput; when the document embeds a
+  ``scale`` section (the sharded fleet run) its throughput, per-line
+  latency percentiles, shed/error ceilings and host provenance
+  (cpus/workers) are trended too;
+* ``serve-scale`` — a standalone sharded-fleet scale payload (a
+  ``scale`` section without the single-server ``loadgen`` run): the
+  same scale metrics, with the shed ceiling carried as a hard bound;
 * ``manifest`` — :class:`~repro.telemetry.manifest.RunManifest`:
   provenance plus telemetry counters/gauges (informational — trended,
   never gated);
@@ -55,7 +61,8 @@ __all__ = [
 STORE_SCHEMA = "repro-results/1"
 
 #: Every payload kind the store accepts.
-PAYLOAD_KINDS = ("bench", "serve", "manifest", "crosscheck", "validate")
+PAYLOAD_KINDS = ("bench", "serve", "serve-scale", "manifest", "crosscheck",
+                 "validate")
 
 #: Latency percentiles trended from serve payloads.
 _SERVE_PERCENTILES = ("p50", "p95", "p99")
@@ -103,6 +110,8 @@ def classify_payload(doc: Any) -> str:
         return "bench"
     if bench == "serve-throughput" or "loadgen" in doc:
         return "serve"
+    if bench == "serve-scale" or "scale" in doc:
+        return "serve-scale"
     if str(doc.get("schema", "")).startswith("repro-manifest/"):
         return "manifest"
     if "pairwise_fs_agreement" in doc:
@@ -167,6 +176,47 @@ def _serve_metrics(doc: Dict[str, Any]) -> List[Metric]:
     if vps is not None:
         out.append(Metric("predict_batch_vectors_per_s", vps, "vec/s",
                           "higher"))
+    out.extend(_scale_section_metrics(doc))
+    return out
+
+
+def _scale_section_metrics(doc: Dict[str, Any]) -> List[Metric]:
+    """Metrics of a sharded-fleet ``scale`` section (possibly embedded)."""
+    scale = doc.get("scale") or {}
+    if not isinstance(scale, dict):
+        raise ResultsError("'scale' section must be an object")
+    out: List[Metric] = []
+    vps = _num(scale.get("throughput_vps"))
+    if vps is not None:
+        out.append(Metric("scale.throughput_vps", vps, "vec/s", "higher"))
+    lat = scale.get("latency_ms") or {}
+    for pct in _SERVE_PERCENTILES:
+        v = _num(lat.get(pct))
+        if v is not None:
+            out.append(Metric(f"scale.latency_ms.{pct}", v, "ms", "lower"))
+    shed = _num(scale.get("shed"))
+    if shed is not None:
+        # The explicit shed ceiling is a hard bound: a scale run that
+        # shed more than it declared acceptable can never pass the gate.
+        ceiling = _num(scale.get("shed_ceiling"))
+        out.append(Metric("scale.shed", shed, "vec", "lower",
+                          bound=ceiling if ceiling is not None else 0.0))
+    errors = _num(scale.get("errors"))
+    if errors is not None:
+        out.append(Metric("scale.errors", errors, "vec", "lower", bound=0.0))
+    speedup = _num(scale.get("speedup_vs_single"))
+    if speedup is not None:
+        out.append(Metric("scale.speedup_vs_single", speedup, "x", "higher"))
+    # Host/topology provenance rides along so cross-host trajectories
+    # are comparable (a 1-cpu laptop number never gates a 4-cpu CI one).
+    for key in ("workers", "connections", "batch"):
+        v = _num(scale.get(key))
+        if v is not None:
+            out.append(Metric(f"scale.{key}", v, "", "info"))
+    for key in ("cpus", "affinity_cpus"):
+        v = _num(doc.get(key))
+        if v is not None:
+            out.append(Metric(f"host.{key}", v, "", "info"))
     return out
 
 
@@ -215,6 +265,7 @@ def _validation_metrics(doc: Dict[str, Any],
 _EXTRACTORS = {
     "bench": _bench_metrics,
     "serve": _serve_metrics,
+    "serve-scale": _scale_section_metrics,
     "manifest": _manifest_metrics,
     "crosscheck": _crosscheck_metrics,
     "validate": _validation_metrics,

@@ -19,12 +19,26 @@ into that monitor:
   pipelined bulk mode;
 * :mod:`repro.serve.loadgen` — a deterministic load generator replaying
   suite-derived event streams, reporting p50/p95/p99 latency, throughput
-  and shed counts (``BENCH_serve.json``).
+  and shed counts (``BENCH_serve.json``);
+* :mod:`repro.serve.router` — a consistent-hash router sharding classify
+  traffic by ``source`` onto a pool of workers, forwarding raw bytes for
+  bit-identical verdicts;
+* :mod:`repro.serve.admission` — token-bucket admission control with an
+  explicit per-source shed ledger;
+* :mod:`repro.serve.aggregate` — fleet-level majority/streak verdict
+  aggregation over the relayed labels;
+* :mod:`repro.serve.fleet` — worker-process supervision: spawn, watch,
+  hot-restart, all wired to the router (``repro-serve fleet``).
 """
 
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.aggregate import SourceVerdicts, VerdictAggregator
 from repro.serve.client import ServeClient
+from repro.serve.fleet import DetectionFleet, FleetSupervisor, FleetThread
 from repro.serve.inference import CompiledTree, as_compiled
-from repro.serve.loadgen import LoadGenResult, generate_stream, run_loadgen
+from repro.serve.loadgen import (LoadGenResult, ScaleResult, generate_stream,
+                                 run_loadgen, run_scale_loadgen)
+from repro.serve.router import DetectionRouter, HashRing, RouterThread
 from repro.serve.server import DetectionServer, ServerThread
 from repro.serve.stream import StreamWindow, WindowAggregator
 
@@ -37,6 +51,18 @@ __all__ = [
     "StreamWindow",
     "WindowAggregator",
     "LoadGenResult",
+    "ScaleResult",
     "generate_stream",
     "run_loadgen",
+    "run_scale_loadgen",
+    "AdmissionController",
+    "TokenBucket",
+    "SourceVerdicts",
+    "VerdictAggregator",
+    "DetectionRouter",
+    "HashRing",
+    "RouterThread",
+    "DetectionFleet",
+    "FleetSupervisor",
+    "FleetThread",
 ]

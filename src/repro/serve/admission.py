@@ -1,0 +1,178 @@
+"""Token-bucket admission control for the sharded serving tier.
+
+The router sits in front of a fixed pool of workers; without admission
+control a single noisy source can fill every worker queue and turn the
+whole fleet's latency to mush before the workers' own backpressure kicks
+in.  :class:`AdmissionController` implements the classic two-level
+token-bucket scheme:
+
+* a **global** bucket bounding total admitted classifications/s across
+  the fleet, and
+* a **per-source** bucket bounding any one source's share,
+
+both refilled continuously at their configured rate up to a burst
+capacity.  Costs are *vectors* (classifications), not lines: a batched
+request carrying 256 vectors spends 256 tokens, so batching cannot be
+used to smuggle load past the limiter.
+
+Every rejection is accounted — globally, per source and per reason —
+and surfaced in the router's ``stats`` response; the contract is the
+same as the single server's shed contract: **no silent drops**.  A
+rate of 0 disables the corresponding bucket (the default: the bench
+measures raw capacity; production deployments set explicit budgets).
+
+The clock is injectable so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ServeError
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """A continuously-refilled token bucket (rate/s, burst capacity).
+
+    ``rate <= 0`` means *unlimited*: :meth:`try_take` always succeeds.
+    The bucket starts full.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_clock", "_last")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0:
+            raise ServeError("token rate must be >= 0 (0 = unlimited)")
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else rate)
+        if self.rate > 0 and self.burst <= 0:
+            raise ServeError("burst must be > 0 when a rate is set")
+        self.tokens = self.burst
+        self._clock = clock
+        self._last = clock()
+
+    @property
+    def unlimited(self) -> bool:
+        return self.rate <= 0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False (and take nothing) if not."""
+        if self.unlimited:
+            return True
+        self._refill()
+        if self.tokens + 1e-9 < n:
+            return False
+        self.tokens -= n
+        return True
+
+    def give_back(self, n: float) -> None:
+        """Return tokens taken by a decision that was later reversed."""
+        if not self.unlimited:
+            self.tokens = min(self.burst, self.tokens + n)
+
+    def available(self) -> float:
+        """Tokens currently available (refilled to now)."""
+        if self.unlimited:
+            return float("inf")
+        self._refill()
+        return self.tokens
+
+
+class AdmissionController:
+    """Two-level admission: a global bucket plus one bucket per source.
+
+    ``admit(source, n)`` charges both buckets atomically: if the
+    per-source bucket refuses, the global tokens are returned, so one
+    throttled source never eats the budget of the others.  Rejections
+    are tallied per source and per reason (``"global"`` vs
+    ``"source"``); :meth:`snapshot` returns the full shed ledger.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: Optional[float] = None,
+        source_rate: float = 0.0,
+        source_burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self.global_bucket = TokenBucket(rate, burst, clock)
+        self.source_rate = float(source_rate)
+        self.source_burst = source_burst
+        if self.source_rate < 0:
+            raise ServeError("source_rate must be >= 0 (0 = unlimited)")
+        self._source_buckets: Dict[str, TokenBucket] = {}
+        # Ledger (all in vectors/classifications, not lines).
+        self.admitted = 0
+        self.shed = 0
+        self.shed_by_reason: Dict[str, int] = {}
+        self.shed_by_source: Dict[str, int] = {}
+        self.admitted_by_source: Dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return not self.global_bucket.unlimited or self.source_rate > 0
+
+    def _bucket_for(self, source: str) -> TokenBucket:
+        bucket = self._source_buckets.get(source)
+        if bucket is None:
+            bucket = TokenBucket(self.source_rate, self.source_burst,
+                                 self._clock)
+            self._source_buckets[source] = bucket
+        return bucket
+
+    def admit(self, source: str, n: int = 1) -> bool:
+        """True when ``n`` vectors from ``source`` fit the budget now."""
+        if n < 1:
+            raise ServeError("admission cost must be >= 1 vector")
+        reason = None
+        if not self.global_bucket.try_take(n):
+            reason = "global"
+        elif self.source_rate > 0 and not self._bucket_for(source).try_take(n):
+            self.global_bucket.give_back(n)
+            reason = "source"
+        if reason is None:
+            self.admitted += n
+            self.admitted_by_source[source] = (
+                self.admitted_by_source.get(source, 0) + n
+            )
+            return True
+        self.shed += n
+        self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + n
+        self.shed_by_source[source] = self.shed_by_source.get(source, 0) + n
+        return False
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The shed ledger plus configuration, JSON-ready."""
+        return {
+            "enabled": self.enabled,
+            "config": {
+                "rate": self.global_bucket.rate,
+                "burst": self.global_bucket.burst,
+                "source_rate": self.source_rate,
+                "source_burst": (self.source_burst
+                                 if self.source_burst is not None
+                                 else self.source_rate),
+            },
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_by_reason": dict(self.shed_by_reason),
+            "shed_by_source": dict(self.shed_by_source),
+            "admitted_by_source": dict(self.admitted_by_source),
+        }

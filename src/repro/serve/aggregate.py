@@ -1,0 +1,149 @@
+"""Fleet-level verdict aggregation for the sharded serving tier.
+
+Each worker classifies the windows of the sources hashed onto its shard;
+the router feeds every label it relays through a
+:class:`VerdictAggregator`, which maintains per-source verdict state and
+merges it into a fleet view — the control-plane → aggregator shape of
+MicroSentinel's agent, applied to window labels instead of raw HITM
+lines.
+
+Per source it tracks:
+
+* a **majority verdict** over the last ``majority_window`` labels (ties
+  broken lexicographically, matching :func:`repro.utils.stats.majority`);
+* the current **streak** (how many consecutive most-recent windows agree)
+  — a source that has said ``bad-fs`` for 40 windows straight is a much
+  stronger finding than one oscillating with ``good``;
+* total label tallies since the source first appeared.
+
+The fleet summary groups sources by their majority verdict and lists the
+*alerting* sources (majority not ``good``), which is what an operator
+polls via the router's ``{"op": "fleet"}`` control endpoint.
+
+Because a source's windows are consistent-hashed onto exactly one worker,
+per-source label order here is exactly the worker's response order — the
+aggregation never interleaves two workers' verdicts for one source, which
+is what keeps instruction-normalized window sequences coherent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+from repro.errors import ServeError
+from repro.utils.stats import majority
+
+__all__ = ["SourceVerdicts", "VerdictAggregator"]
+
+
+class SourceVerdicts:
+    """Rolling verdict state of one source."""
+
+    __slots__ = ("source", "worker", "recent", "counts", "windows",
+                 "streak_label", "streak")
+
+    def __init__(self, source: str, window: int) -> None:
+        self.source = source
+        self.worker: Optional[str] = None
+        self.recent: Deque[str] = deque(maxlen=window)
+        self.counts: Dict[str, int] = {}
+        self.windows = 0
+        self.streak_label: Optional[str] = None
+        self.streak = 0
+
+    def observe(self, label: str) -> None:
+        self.recent.append(label)
+        self.counts[label] = self.counts.get(label, 0) + 1
+        self.windows += 1
+        if label == self.streak_label:
+            self.streak += 1
+        else:
+            self.streak_label = label
+            self.streak = 1
+
+    @property
+    def majority(self) -> str:
+        return majority(self.recent)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "worker": self.worker,
+            "windows": self.windows,
+            "counts": dict(self.counts),
+            "majority": self.majority,
+            "majority_window": len(self.recent),
+            "streak": {"label": self.streak_label, "length": self.streak},
+        }
+
+
+class VerdictAggregator:
+    """Merges per-worker window verdicts into fleet-level verdicts."""
+
+    def __init__(self, majority_window: int = 16) -> None:
+        if majority_window < 1:
+            raise ServeError("majority_window must be >= 1")
+        self.majority_window = majority_window
+        self._sources: Dict[str, SourceVerdicts] = {}
+        self.labels_seen = 0
+
+    # -------------------------------------------------------------- feeding
+
+    def observe(self, source: str, labels: Iterable[str],
+                worker: Optional[str] = None) -> None:
+        """Record one source's next window verdicts (in stream order)."""
+        state = self._sources.get(source)
+        if state is None:
+            state = self._sources[source] = SourceVerdicts(
+                source, self.majority_window
+            )
+        if worker is not None:
+            state.worker = worker
+        for label in labels:
+            state.observe(str(label))
+            self.labels_seen += 1
+
+    # -------------------------------------------------------------- reading
+
+    @property
+    def sources(self) -> List[str]:
+        return sorted(self._sources)
+
+    def source_summary(self, source: str) -> Dict[str, Any]:
+        state = self._sources.get(source)
+        if state is None:
+            raise ServeError(f"unknown source {source!r}")
+        return state.summary()
+
+    def fleet_summary(self) -> Dict[str, Any]:
+        """The merged fleet view: verdict census plus alerting sources."""
+        by_verdict: Dict[str, int] = {}
+        alerts: List[Dict[str, Any]] = []
+        labels_total: Dict[str, int] = {}
+        for source in self.sources:
+            state = self._sources[source]
+            verdict = state.majority
+            by_verdict[verdict] = by_verdict.get(verdict, 0) + 1
+            for label, n in state.counts.items():
+                labels_total[label] = labels_total.get(label, 0) + n
+            if verdict != "good":
+                alerts.append({
+                    "source": source,
+                    "verdict": verdict,
+                    "streak": state.streak,
+                    "worker": state.worker,
+                })
+        alerts.sort(key=lambda a: (-a["streak"], a["source"]))
+        return {
+            "sources": len(self._sources),
+            "windows": self.labels_seen,
+            "majority_window": self.majority_window,
+            "sources_by_verdict": by_verdict,
+            "labels": labels_total,
+            "alerts": alerts,
+        }
+
+    def verdict_streams(self) -> Dict[str, Any]:
+        """Per-source verdict summaries keyed by source (results payload)."""
+        return {s: self._sources[s].summary() for s in self.sources}

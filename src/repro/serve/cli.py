@@ -8,8 +8,14 @@
 * ``repro-serve bench`` — start an in-process server, replay the
   deterministic load-generator stream, and write ``BENCH_serve.json``
   (throughput, p50/p95/p99 latency, shed count); non-zero exit when shed
-  exceeds ``--max-shed`` or throughput falls below ``--min-rps``;
-* ``repro-serve ping`` — liveness probe against a running server.
+  exceeds ``--max-shed`` or throughput falls below ``--min-rps``; with
+  ``--scale`` the same run also boots a sharded fleet (router + worker
+  processes) and records a batched multi-connection ``scale`` section;
+* ``repro-serve fleet`` — run the sharded tier in the foreground: a
+  consistent-hash router with token-bucket admission control in front of
+  N worker processes, verdict aggregation on the same endpoint;
+* ``repro-serve ping`` — liveness probe against a running server or
+  router.
 """
 
 from __future__ import annotations
@@ -63,6 +69,48 @@ def _add_server_options(p: argparse.ArgumentParser) -> None:
                    help="bounded request-queue size; overflow is shed "
                         "with an 'overloaded' response "
                         "(default: %(default)s)")
+
+
+def _add_fleet_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes (default: %(default)s)")
+    p.add_argument("--admit-rate", type=float, default=0.0,
+                   help="admission token rate, vectors/s over all sources "
+                        "(default: unlimited)")
+    p.add_argument("--admit-burst", type=float, default=0.0,
+                   help="admission bucket depth in vectors "
+                        "(default: 1s of --admit-rate)")
+    p.add_argument("--source-rate", type=float, default=0.0,
+                   help="per-source admission token rate, vectors/s "
+                        "(default: unlimited)")
+    p.add_argument("--majority-window", type=int, default=16,
+                   help="windows per source in the fleet majority verdict "
+                        "(default: %(default)s)")
+
+
+def _build_fleet(args, model, port: int):
+    """A configured FleetThread from CLI options (not yet started)."""
+    from repro.serve.admission import AdmissionController
+    from repro.serve.aggregate import VerdictAggregator
+    from repro.serve.fleet import FleetThread, load_model_doc
+
+    admission = AdmissionController(
+        rate=args.admit_rate,
+        burst=args.admit_burst or args.admit_rate,
+        source_rate=args.source_rate,
+        source_burst=args.source_rate,
+    )
+    return FleetThread(
+        load_model_doc(model),
+        workers=args.workers,
+        host=args.host,
+        port=port,
+        admission=admission,
+        aggregator=VerdictAggregator(majority_window=args.majority_window),
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        backlog=args.backlog,
+    )
 
 
 def serve_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -122,6 +170,36 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
                        help="also ingest the result document into this "
                             "repro-results store")
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--scale", action="store_true",
+                       help="also boot the sharded fleet and record a "
+                            "batched multi-connection 'scale' section")
+    bench.add_argument("--workers", type=int, default=2,
+                       help="fleet worker processes for --scale "
+                            "(default: %(default)s)")
+    bench.add_argument("--connections", type=int, default=4,
+                       help="concurrent loadgen connections for --scale "
+                            "(default: %(default)s)")
+    bench.add_argument("--scale-batch", type=int, default=256,
+                       help="vectors per batch-framed line for --scale "
+                            "(default: %(default)s)")
+    bench.add_argument("--scale-vectors", type=int, default=0,
+                       help="vector count for --scale (default: 10x the "
+                            "single-server request count)")
+    bench.add_argument("--min-scale-vps", type=float, default=0.0,
+                       help="fail (exit 1) when the scale section falls "
+                            "below this classifications/s floor")
+    bench.add_argument("--min-speedup", type=float, default=0.0,
+                       help="fail (exit 1) when scale throughput is below "
+                            "this multiple of the same-run single-server "
+                            "throughput")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run the sharded tier in the foreground: router + admission "
+             "control + N worker processes + verdict aggregation",
+    )
+    _add_server_options(fleet)
+    _add_fleet_options(fleet)
 
     ping = sub.add_parser("ping", help="liveness probe")
     ping.add_argument("--host", default="127.0.0.1")
@@ -135,6 +213,8 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_classify(args)
         if args.cmd == "bench":
             return _cmd_bench(args)
+        if args.cmd == "fleet":
+            return _cmd_fleet(args)
         if args.cmd == "ping":
             return _cmd_ping(args)
         parser.error(f"unknown command {args.cmd!r}")
@@ -223,6 +303,7 @@ def _cmd_bench(args) -> int:
         generate_stream,
         measure_predict_batch,
         run_loadgen,
+        run_scale_loadgen,
     )
     from repro.serve.server import ServerThread
 
@@ -231,7 +312,7 @@ def _cmd_bench(args) -> int:
     compiled = as_compiled(model)
     print(f"generating {n} request vectors (deterministic, seed "
           f"{args.seed})...")
-    X, _tags = generate_stream(n, seed=args.seed)
+    X, tags = generate_stream(n, seed=args.seed)
     vps = measure_predict_batch(compiled, X)
     thread = ServerThread(
         compiled,
@@ -246,8 +327,41 @@ def _cmd_bench(args) -> int:
         result = run_loadgen(host, port, X, window=args.window)
     finally:
         thread.stop()
+
+    scale = None
+    if args.scale:
+        import numpy as np
+
+        from repro.serve.fleet import FleetThread, load_model_doc
+
+        n_scale = args.scale_vectors or 10 * n
+        reps = -(-n_scale // X.shape[0])
+        X_scale = np.tile(X, (reps, 1))[:n_scale]
+        tags_scale = (tags * reps)[:n_scale]
+        print(f"scale: {args.workers} workers, {args.connections} "
+              f"connections, {n_scale} vectors in batches of "
+              f"{args.scale_batch}...")
+        fleet_thread = FleetThread(
+            load_model_doc(model),
+            workers=args.workers,
+            host=args.host,
+            port=0,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+            backlog=args.backlog,
+        )
+        fhost, fport = fleet_thread.start()
+        try:
+            scale = run_scale_loadgen(
+                fhost, fport, X_scale, tags_scale,
+                connections=args.connections, batch=args.scale_batch,
+            )
+        finally:
+            fleet_thread.stop()
+
     payload = bench_payload(result, vps,
-                            mode="smoke" if args.smoke else "full")
+                            mode="smoke" if args.smoke else "full",
+                            scale=scale, scale_shed_ceiling=args.max_shed)
     out = Path(args.output)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -267,6 +381,14 @@ def _cmd_bench(args) -> int:
           f"p99 {lat['p99']:.3f}")
     print(f"  shed            {result.shed}")
     print(f"  predict_batch   {vps:12,.0f} vectors/s (offline)")
+    if scale is not None:
+        slat = scale.latency_ms
+        print(f"  scale           {scale.throughput_vps:12,.0f} vectors/s "
+              f"({scale.vectors} vectors, {scale.connections} connections, "
+              f"batch {scale.batch})")
+        print(f"  scale latency   p50 {slat['p50']:.3f}  "
+              f"p95 {slat['p95']:.3f}  p99 {slat['p99']:.3f} (ms/line)")
+        print(f"  scale shed      {scale.shed}  errors {scale.errors}")
     if result.errors:
         print(f"error: {result.errors} request(s) failed", file=sys.stderr)
         return 1
@@ -278,7 +400,53 @@ def _cmd_bench(args) -> int:
         print(f"serve bench: FAIL (throughput {result.throughput_rps:,.0f} "
               f"< --min-rps {args.min_rps:,.0f})", file=sys.stderr)
         return 1
+    if scale is not None:
+        if scale.errors:
+            print(f"serve bench: FAIL (scale errors {scale.errors})",
+                  file=sys.stderr)
+            return 1
+        if scale.completed + scale.shed != scale.vectors:
+            print(f"serve bench: FAIL (accounting: completed "
+                  f"{scale.completed} + shed {scale.shed} != "
+                  f"{scale.vectors} vectors)", file=sys.stderr)
+            return 1
+        if scale.shed > args.max_shed:
+            print(f"serve bench: FAIL (scale shed {scale.shed} > "
+                  f"--max-shed {args.max_shed})", file=sys.stderr)
+            return 1
+        if args.min_scale_vps and scale.throughput_vps < args.min_scale_vps:
+            print(f"serve bench: FAIL (scale throughput "
+                  f"{scale.throughput_vps:,.0f} < --min-scale-vps "
+                  f"{args.min_scale_vps:,.0f})", file=sys.stderr)
+            return 1
+        speedup = (scale.throughput_vps / result.throughput_rps
+                   if result.throughput_rps > 0 else 0.0)
+        if args.min_speedup and speedup < args.min_speedup:
+            print(f"serve bench: FAIL (scale speedup {speedup:.2f}x < "
+                  f"--min-speedup {args.min_speedup}x)", file=sys.stderr)
+            return 1
     print("serve bench: PASS")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    import time
+
+    model = _load_or_train_model(args.model)
+    fleet_thread = _build_fleet(args, model, port=args.port)
+    host, port = fleet_thread.start()
+    stats = fleet_thread.stats()
+    sup = stats["supervisor"]
+    print(f"repro-serve fleet listening on {host}:{port} "
+          f"({sup['alive']}/{sup['workers']} workers, "
+          f"batch<= {args.max_batch}, "
+          f"admission {'on' if args.admit_rate or args.source_rate else 'off'})")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down fleet")
+        fleet_thread.stop()
     return 0
 
 

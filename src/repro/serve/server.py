@@ -8,11 +8,18 @@ per connection.  Requests:
 * ``{"op": "classify", "id": 7, "counts": {event: raw_count, ...}}`` —
   classify raw counts (normalized server-side; must include the
   ``Instructions_Retired`` normalizer);
+* ``{"op": "classify", "id": 7, "source": "pid-4", "n": 64,
+  "batch": [[..15 floats..], ...]}`` — classify a whole batch of
+  vectors in one line (the fleet tier's framing: per-vector JSON and
+  socket overhead amortize across the batch; ``n`` must match the batch
+  length and ``source`` tags the stream for routing/aggregation, both
+  optional on a direct connection);
 * ``{"op": "ping"}`` / ``{"op": "stats"}`` — liveness and counters;
 * ``{"op": "reload", "path": "model.json"}`` — hot-swap the tree from a
   :mod:`repro.ml.persistence` file without dropping connections.
 
-Replies: ``{"id": 7, "label": "bad-fs"}`` on success;
+Replies: ``{"id": 7, "label": "bad-fs"}`` on success (batch requests get
+``{"id": 7, "labels": [...], "n": ...}`` plus the echoed ``source``);
 ``{"id": 7, "error": "overloaded"}`` when the bounded request queue is
 full (explicit shed — the server never buffers without bound);
 ``{"error": "bad_request", "detail": ...}`` for malformed input.
@@ -50,7 +57,13 @@ from repro.pmu.counters import EventVector
 from repro.serve.inference import CompiledTree, as_compiled
 from repro.telemetry.core import TELEMETRY
 
-__all__ = ["DetectionServer", "ServerThread"]
+__all__ = ["DetectionServer", "ServerThread", "STREAM_LIMIT"]
+
+#: Per-line buffer limit for every serve-tier stream (server accept,
+#: router accept, router->worker links).  A 1024-vector batch line of
+#: full-precision floats is ~0.4 MiB; 16 MiB leaves an order of
+#: magnitude of headroom without letting one client buffer unboundedly.
+STREAM_LIMIT = 16 * 1024 * 1024
 
 #: Sentinel queued by ``stop`` so the batcher exits after draining
 #: everything enqueued before shutdown began.
@@ -58,14 +71,23 @@ _STOP = object()
 
 
 class _Pending:
-    """One accepted classification request awaiting its batch."""
+    """One accepted classification request awaiting its batch.
+
+    ``features`` is one vector (1-d) for a single request or a matrix
+    (2-d) for a batched one; the future resolves to a ``str`` or a
+    ``List[str]`` respectively.
+    """
 
     __slots__ = ("features", "future")
 
     def __init__(self, features: np.ndarray,
-                 future: "asyncio.Future[str]") -> None:
+                 future: "asyncio.Future") -> None:
         self.features = features
         self.future = future
+
+    @property
+    def rows(self) -> int:
+        return self.features.shape[0] if self.features.ndim == 2 else 1
 
 
 class DetectionServer:
@@ -110,9 +132,12 @@ class DetectionServer:
         self._resume: Optional[asyncio.Event] = None
         self._writers: set = set()
         self._accepting = False
-        # Counters (mirrored into telemetry when enabled).
+        # Counters (mirrored into telemetry when enabled).  ``requests``
+        # and ``shed`` count protocol lines; ``classified`` and
+        # ``vectors_shed`` count vectors (a batch line carries many).
         self.requests = 0
         self.shed = 0
+        self.vectors_shed = 0
         self.batches = 0
         self.classified = 0
         self.reloads = 0
@@ -127,8 +152,11 @@ class DetectionServer:
         self._queue = asyncio.Queue(maxsize=self.backlog)
         self._resume = asyncio.Event()
         self._resume.set()
+        # Batch-framed lines (hundreds of float vectors) far exceed the
+        # asyncio default 64 KiB line limit.
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port,
+            limit=STREAM_LIMIT,
         )
         # Only after a successful bind: a failed start must not leave an
         # orphaned batcher task behind on the loop.
@@ -200,6 +228,7 @@ class DetectionServer:
             "requests": self.requests,
             "classified": self.classified,
             "shed": self.shed,
+            "vectors_shed": self.vectors_shed,
             "batches": self.batches,
             "max_batch_seen": self.max_seen_batch,
             "reloads": self.reloads,
@@ -219,21 +248,24 @@ class DetectionServer:
 
     # ------------------------------------------------------------ admission
 
-    def submit(self, features: np.ndarray) -> Optional["asyncio.Future[str]"]:
-        """Queue one vector for classification.
+    def submit(self, features: np.ndarray) -> Optional["asyncio.Future"]:
+        """Queue one vector (1-d) or one batch of vectors (2-d).
 
-        Returns the future resolving to its label, or ``None`` when the
-        bounded queue is full — the caller must translate that into an
-        explicit ``overloaded`` response (shedding beats unbounded
-        buffering: the client learns *now* that it must back off).
+        Returns the future resolving to the label (or list of labels),
+        or ``None`` when the bounded queue is full — the caller must
+        translate that into an explicit ``overloaded`` response
+        (shedding beats unbounded buffering: the client learns *now*
+        that it must back off).
         """
         if self._queue is None:
             raise ServeError("server is not started")
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        pending = _Pending(features, fut)
         try:
-            self._queue.put_nowait(_Pending(features, fut))
+            self._queue.put_nowait(pending)
         except asyncio.QueueFull:
             self.shed += 1
+            self.vectors_shed += pending.rows
             TELEMETRY.count("serve.shed")
             return None
         self.requests += 1
@@ -301,18 +333,31 @@ class DetectionServer:
         if not batch:
             return
         compiled = self._compiled
-        X = np.vstack([p.features for p in batch])
-        with TELEMETRY.span("serve.batch", size=len(batch)):
+        rows = sum(p.rows for p in batch)
+        if len(batch) == 1:
+            X = np.atleast_2d(batch[0].features)
+        else:
+            X = np.vstack([np.atleast_2d(p.features) for p in batch])
+        with TELEMETRY.span("serve.batch", size=rows):
             labels = compiled.predict_batch(X)
-        for pending, label in zip(batch, labels):
+        offset = 0
+        for pending in batch:
+            k = pending.rows
             if not pending.future.done():
-                pending.future.set_result(str(label))
+                if pending.features.ndim == 2:
+                    pending.future.set_result(
+                        [str(v) for v in labels[offset:offset + k]]
+                    )
+                else:
+                    pending.future.set_result(str(labels[offset]))
+            offset += k
         self.batches += 1
-        self.classified += len(batch)
-        self.max_seen_batch = max(self.max_seen_batch, len(batch))
+        self.classified += rows
+        self.max_seen_batch = max(self.max_seen_batch, rows)
         TELEMETRY.count("serve.batches")
-        TELEMETRY.count("serve.classified", len(batch))
-        TELEMETRY.gauge("serve.batch_size", len(batch))
+        TELEMETRY.count("serve.classified", rows)
+        TELEMETRY.observe("serve.batch_size", rows)
+        TELEMETRY.gauge("serve.batch_size", rows)
         TELEMETRY.gauge("serve.queue_depth",
                         self._queue.qsize() if self._queue else 0)
 
@@ -356,10 +401,17 @@ class DetectionServer:
             item = await responses.get()
             if item is None:
                 return
-            if isinstance(item, tuple):  # (request id, pending future)
-                rid, fut = item
+            if isinstance(item, tuple):  # (request id, future, source)
+                rid, fut, source = item
                 try:
-                    payload = {"id": rid, "label": await fut}
+                    result = await fut
+                    if isinstance(result, list):
+                        payload = {"id": rid, "labels": result,
+                                   "n": len(result)}
+                        if source is not None:
+                            payload["source"] = source
+                    else:
+                        payload = {"id": rid, "label": result}
                 except ServeError as exc:
                     payload = {"id": rid, "error": "shutdown",
                                "detail": str(exc)}
@@ -404,7 +456,8 @@ class DetectionServer:
         if fut is None:
             return {"id": rid, "error": "overloaded",
                     "detail": "request queue full; back off and retry"}
-        return (rid, fut)
+        source = req.get("source")
+        return (rid, fut, str(source) if source is not None else None)
 
     def _handle_reload(self, req: Dict, rid) -> Dict[str, Any]:
         path = req.get("path")
@@ -419,6 +472,24 @@ class DetectionServer:
                 "classes": list(compiled.classes)}
 
     def _extract_features(self, req: Dict) -> np.ndarray:
+        if "batch" in req:
+            batch = req["batch"]
+            if not isinstance(batch, list) or not batch:
+                raise ServeError("'batch' must be a non-empty list of "
+                                 "feature vectors")
+            feats = np.asarray(batch, dtype=float)
+            if feats.ndim != 2 or feats.shape[1] != len(self.features):
+                raise ServeError(
+                    f"'batch' must be a list of {len(self.features)}-float "
+                    "vectors"
+                )
+            n = req.get("n")
+            if n is not None and int(n) != feats.shape[0]:
+                raise ServeError(
+                    f"'n' ({n}) does not match batch length "
+                    f"({feats.shape[0]})"
+                )
+            return feats
         if "features" in req:
             feats = np.asarray(req["features"], dtype=float)
             if feats.ndim != 1 or feats.size != len(self.features):

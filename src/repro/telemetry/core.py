@@ -155,6 +155,7 @@ class Telemetry:
         self.spans: List[SpanRecord] = []
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Dict[str, int]] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
         self._epoch = time.perf_counter()
@@ -176,6 +177,7 @@ class Telemetry:
             self.spans = []
             self.counters = {}
             self.gauges = {}
+            self.histograms = {}
             self._local = threading.local()
             self._epoch = time.perf_counter()
             self._epoch_unix = time.time()
@@ -255,6 +257,29 @@ class Telemetry:
         with self._lock:
             self.gauges[name] = value
 
+    def observe(self, name: str, value: float) -> None:
+        """Tally ``value`` into a power-of-two-bucket histogram (no-op
+        when disabled).
+
+        Buckets are labeled by their inclusive upper bound (``"<=1"``,
+        ``"<=2"``, ``"<=4"``, ...; non-positive values land in
+        ``"<=0"``), which keeps the export a small dict regardless of
+        sample count — the right fidelity for batch-size and queue-depth
+        distributions on a serving hot path.
+        """
+        if not self.enabled:
+            return
+        if value <= 0:
+            label = "<=0"
+        else:
+            bound = 1
+            while bound < value:
+                bound <<= 1
+            label = f"<={bound}"
+        with self._lock:
+            bucket = self.histograms.setdefault(name, {})
+            bucket[label] = bucket.get(label, 0) + 1
+
     # ------------------------------------------------------------ read side
 
     def span_seconds(self, name: str) -> float:
@@ -310,6 +335,8 @@ class Telemetry:
         return {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "histograms": {name: dict(buckets)
+                           for name, buckets in self.histograms.items()},
             "spans": [s.to_dict() for s in self.spans],
         }
 

@@ -44,6 +44,26 @@ def serve_payload(rps=23_000.0, shed=0):
     }
 
 
+def scale_payload(vps=150_000.0, shed=0, ceiling=0, workers=2):
+    return {
+        "bench": "serve-scale",
+        "cpus": 4,
+        "affinity_cpus": 4,
+        "scale": {
+            "throughput_vps": vps,
+            "latency_ms": {"p50": 10.0, "p95": 40.0, "p99": 80.0},
+            "completed": 100_000 - shed,
+            "shed": shed,
+            "shed_ceiling": ceiling,
+            "errors": 0,
+            "workers": workers,
+            "connections": 4,
+            "batch": 256,
+            "speedup_vs_single": 6.5,
+        },
+    }
+
+
 # ------------------------------------------------------------- schema
 
 
@@ -86,6 +106,50 @@ def test_extract_serve_metrics_shed_has_zero_ceiling():
     assert metrics["loadgen.shed"].direction == "lower"
     assert metrics["loadgen.shed"].bound == 0.0
     assert metrics["loadgen.latency_ms.p99"].direction == "lower"
+
+
+def test_classify_serve_scale_payload():
+    assert classify_payload(scale_payload()) == "serve-scale"
+    # An embedded scale section on a full serve doc stays kind "serve".
+    merged = {**serve_payload(), **{"scale": scale_payload()["scale"]}}
+    assert classify_payload(merged) == "serve"
+
+
+def test_extract_scale_metrics_carry_shed_ceiling():
+    metrics = {m.name: m for m in
+               extract_metrics("serve-scale", scale_payload(ceiling=100))}
+    assert metrics["scale.throughput_vps"].direction == "higher"
+    assert metrics["scale.shed"].bound == 100.0
+    assert metrics["scale.errors"].bound == 0.0
+    assert metrics["scale.latency_ms.p99"].direction == "lower"
+    assert metrics["scale.speedup_vs_single"].direction == "higher"
+    # Host/topology provenance is trended (info) for cross-host sanity.
+    assert metrics["scale.workers"].direction == "info"
+    assert metrics["host.cpus"].direction == "info"
+
+
+def test_extract_scale_shed_ceiling_defaults_to_zero():
+    doc = scale_payload()
+    del doc["scale"]["shed_ceiling"]
+    metrics = {m.name: m for m in extract_metrics("serve-scale", doc)}
+    assert metrics["scale.shed"].bound == 0.0
+
+
+def test_extract_serve_with_embedded_scale_section():
+    merged = {**serve_payload(), "scale": scale_payload()["scale"],
+              "cpus": 4}
+    metrics = {m.name: m for m in extract_metrics("serve", merged)}
+    assert "loadgen.throughput_rps" in metrics
+    assert "scale.throughput_vps" in metrics
+    assert metrics["host.cpus"].value == 4.0
+
+
+def test_store_ingests_serve_scale_kind(tmp_path):
+    with ResultsStore(tmp_path / "h.db") as store:
+        outcome = store.ingest(scale_payload(), source="scale.json")
+        assert outcome.kind == "serve-scale"
+        assert store.series("scale.throughput_vps",
+                            kind="serve-scale") == [150_000.0]
 
 
 def test_extract_refuses_empty_payload():

@@ -1,0 +1,136 @@
+"""Token-bucket admission control: rates, bursts, ledger exactness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# ----------------------------------------------------------- TokenBucket
+
+
+def test_bucket_starts_full_and_drains():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10, burst=5, clock=clock)
+    assert bucket.try_take(5)
+    assert not bucket.try_take(1)
+
+
+def test_bucket_refills_at_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10, burst=5, clock=clock)
+    assert bucket.try_take(5)
+    clock.advance(0.3)  # 3 tokens back
+    assert bucket.try_take(3)
+    assert not bucket.try_take(1)
+
+
+def test_bucket_refill_caps_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100, burst=5, clock=clock)
+    clock.advance(1000.0)
+    assert bucket.available() == pytest.approx(5.0)
+
+
+def test_zero_rate_is_unlimited():
+    bucket = TokenBucket(rate=0)
+    assert bucket.unlimited
+    assert all(bucket.try_take(10 ** 9) for _ in range(100))
+    assert bucket.available() == float("inf")
+
+
+def test_give_back_restores_tokens():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10, burst=10, clock=clock)
+    assert bucket.try_take(8)
+    bucket.give_back(8)
+    assert bucket.try_take(10)
+
+
+def test_bucket_rejects_bad_config():
+    with pytest.raises(ServeError):
+        TokenBucket(rate=-1)
+    with pytest.raises(ServeError):
+        TokenBucket(rate=5, burst=0)
+
+
+# ---------------------------------------------------- AdmissionController
+
+
+def test_admit_unlimited_by_default():
+    ctrl = AdmissionController()
+    assert not ctrl.enabled
+    assert all(ctrl.admit("s", 1000) for _ in range(50))
+    assert ctrl.shed == 0
+
+
+def test_global_budget_shed_accounted():
+    clock = FakeClock()
+    ctrl = AdmissionController(rate=100, burst=10, clock=clock)
+    assert ctrl.admit("a", 10)
+    assert not ctrl.admit("a", 5)
+    snap = ctrl.snapshot()
+    assert snap["admitted"] == 10
+    assert snap["shed"] == 5
+    assert snap["shed_by_reason"] == {"global": 5}
+    assert snap["shed_by_source"] == {"a": 5}
+
+
+def test_source_budget_refunds_global():
+    clock = FakeClock()
+    ctrl = AdmissionController(rate=100, burst=100,
+                               source_rate=10, source_burst=10, clock=clock)
+    # Source "hog" exhausts its own bucket; the global tokens it briefly
+    # held must be refunded so "quiet" still fits the global budget.
+    assert ctrl.admit("hog", 10)
+    assert not ctrl.admit("hog", 10)
+    assert ctrl.admit("quiet", 10)
+    snap = ctrl.snapshot()
+    assert snap["shed_by_reason"] == {"source": 10}
+    assert snap["admitted_by_source"] == {"hog": 10, "quiet": 10}
+    # Global bucket charged only for admitted work: 100 - 20 = 80 left.
+    assert ctrl.global_bucket.available() == pytest.approx(80.0)
+
+
+def test_vector_cost_cannot_be_smuggled_by_batching():
+    clock = FakeClock()
+    ctrl = AdmissionController(rate=100, burst=50, clock=clock)
+    assert not ctrl.admit("s", 51)  # one big batch > burst: refused whole
+    assert ctrl.admit("s", 50)
+    assert ctrl.shed == 51
+
+
+def test_admit_rejects_nonpositive_cost():
+    ctrl = AdmissionController()
+    with pytest.raises(ServeError):
+        ctrl.admit("s", 0)
+
+
+def test_ledger_invariant_under_mixed_traffic():
+    clock = FakeClock()
+    ctrl = AdmissionController(rate=50, burst=20,
+                               source_rate=30, source_burst=15, clock=clock)
+    offered = 0
+    for i in range(200):
+        ctrl.admit(f"src-{i % 4}", 1 + i % 7)
+        offered += 1 + i % 7
+        if i % 10 == 0:
+            clock.advance(0.05)
+    snap = ctrl.snapshot()
+    assert snap["admitted"] + snap["shed"] == offered
+    assert sum(snap["shed_by_reason"].values()) == snap["shed"]
+    assert sum(snap["shed_by_source"].values()) == snap["shed"]
+    assert sum(snap["admitted_by_source"].values()) == snap["admitted"]

@@ -1,0 +1,79 @@
+"""Fleet verdict aggregation: majority windows, streaks, fleet census."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.aggregate import VerdictAggregator
+from repro.utils.stats import majority
+
+
+def test_single_source_majority_and_streak():
+    agg = VerdictAggregator(majority_window=4)
+    agg.observe("pid-1", ["good", "good", "bad-fs", "bad-fs", "bad-fs"])
+    s = agg.source_summary("pid-1")
+    assert s["majority"] == "bad-fs"
+    assert s["streak"] == {"label": "bad-fs", "length": 3}
+    assert s["windows"] == 5
+    assert s["counts"] == {"good": 2, "bad-fs": 3}
+
+
+def test_majority_window_forgets_old_labels():
+    agg = VerdictAggregator(majority_window=3)
+    agg.observe("s", ["bad-fs"] * 10 + ["good"] * 3)
+    assert agg.source_summary("s")["majority"] == "good"
+
+
+def test_majority_tiebreak_matches_stats_helper():
+    agg = VerdictAggregator(majority_window=4)
+    labels = ["bad-fs", "good", "bad-fs", "good"]
+    agg.observe("s", labels)
+    assert agg.source_summary("s")["majority"] == majority(labels)
+
+
+def test_streak_resets_on_flip():
+    agg = VerdictAggregator()
+    agg.observe("s", ["good", "good", "bad-ma"])
+    s = agg.source_summary("s")
+    assert s["streak"] == {"label": "bad-ma", "length": 1}
+
+
+def test_fleet_summary_census_and_alerts():
+    agg = VerdictAggregator(majority_window=4)
+    agg.observe("quiet", ["good"] * 4, worker="w0")
+    agg.observe("noisy", ["bad-fs"] * 6, worker="w1")
+    agg.observe("drift", ["bad-ma"] * 2, worker="w0")
+    fleet = agg.fleet_summary()
+    assert fleet["sources"] == 3
+    assert fleet["windows"] == 12
+    assert fleet["sources_by_verdict"] == {"good": 1, "bad-fs": 1,
+                                           "bad-ma": 1}
+    assert fleet["labels"] == {"good": 4, "bad-fs": 6, "bad-ma": 2}
+    # Alerts exclude the healthy source and sort by streak, longest first.
+    assert [a["source"] for a in fleet["alerts"]] == ["noisy", "drift"]
+    assert fleet["alerts"][0]["worker"] == "w1"
+
+
+def test_worker_attribution_follows_restart():
+    agg = VerdictAggregator()
+    agg.observe("s", ["good"], worker="w0")
+    agg.observe("s", ["good"], worker="w1")
+    assert agg.source_summary("s")["worker"] == "w1"
+
+
+def test_verdict_streams_keyed_by_source():
+    agg = VerdictAggregator()
+    agg.observe("b", ["good"])
+    agg.observe("a", ["bad-fs"])
+    streams = agg.verdict_streams()
+    assert list(streams) == ["a", "b"]
+    assert streams["a"]["majority"] == "bad-fs"
+
+
+def test_unknown_source_and_bad_window_raise():
+    agg = VerdictAggregator()
+    with pytest.raises(ServeError):
+        agg.source_summary("nope")
+    with pytest.raises(ServeError):
+        VerdictAggregator(majority_window=0)

@@ -1,0 +1,148 @@
+"""ServeClient robustness: dead servers, restarts, timeouts, batch op."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.training import FEATURES
+from repro.errors import ServeError
+from repro.ml.c45 import C45Classifier
+from repro.ml.dataset import Dataset
+from repro.serve.client import ServeClient
+from repro.serve.server import ServerThread
+
+N_FEATURES = len(FEATURES)
+
+
+def _make_clf():
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(200, N_FEATURES))
+    y = ["bad-fs" if r[0] > 0 else "good" for r in X]
+    return C45Classifier().fit(Dataset(X, y, [e.name for e in FEATURES]))
+
+
+@pytest.fixture(scope="module")
+def clf():
+    return _make_clf()
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def test_dead_server_raises_serve_error_not_oserror():
+    port = _free_port()  # bound then released: nothing listens here
+    with pytest.raises(ServeError, match="cannot connect"):
+        ServeClient("127.0.0.1", port, timeout=0.5)
+
+
+def test_connect_retries_are_counted():
+    port = _free_port()
+    with pytest.raises(ServeError, match="after 3 attempt"):
+        ServeClient("127.0.0.1", port, timeout=0.2, retries=2,
+                    backoff_s=0.01)
+
+
+def test_read_timeout_surfaces_as_serve_error():
+    """A server that accepts but never answers trips the read timeout."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    accepted = []
+    t = threading.Thread(
+        target=lambda: accepted.append(listener.accept()), daemon=True
+    )
+    t.start()
+    try:
+        client = ServeClient("127.0.0.1", port, timeout=0.3)
+        with pytest.raises(ServeError, match="timed out"):
+            client.request({"op": "ping"})
+        client.close()
+    finally:
+        listener.close()
+        for conn, _ in accepted:
+            conn.close()
+
+
+def test_mid_stream_restart_with_retries_recovers(clf):
+    """The server dies between requests and comes back on the same port;
+    with a retry budget the client reconnects transparently."""
+    first = ServerThread(clf)
+    host, port = first.start()
+    client = ServeClient(host, port, timeout=10.0, retries=5,
+                         backoff_s=0.05)
+    rng = np.random.default_rng(7)
+    vec = rng.normal(size=N_FEATURES)
+    before = client.classify(vec, rid=1)
+    first.stop()
+    second = ServerThread(clf, host=host, port=port)
+    try:
+        second.start()
+        after = client.classify(vec, rid=2)
+        assert after == before
+    finally:
+        client.close()
+        second.stop()
+
+
+def test_mid_stream_death_without_retries_raises(clf):
+    first = ServerThread(clf)
+    host, port = first.start()
+    client = ServeClient(host, port, timeout=5.0)
+    rng = np.random.default_rng(7)
+    client.classify(rng.normal(size=N_FEATURES), rid=1)
+    first.stop()
+    with pytest.raises(ServeError):
+        client.classify(rng.normal(size=N_FEATURES), rid=2)
+    client.close()
+
+
+def test_classify_batch_matches_per_row_classify(clf):
+    rng = np.random.default_rng(8)
+    X = rng.normal(size=(32, N_FEATURES))
+    with ServerThread(clf) as (host, port):
+        with ServeClient(host, port) as client:
+            batched = client.classify_batch(X, rid=1, source="pid-1")
+            singles = [client.classify(row, rid=2 + i)
+                       for i, row in enumerate(X)]
+    assert batched == singles
+
+
+def test_classify_batch_echoes_source_and_n(clf):
+    rng = np.random.default_rng(9)
+    X = rng.normal(size=(4, N_FEATURES))
+    with ServerThread(clf) as (host, port):
+        with ServeClient(host, port) as client:
+            resp = client.request({
+                "op": "classify", "id": 5, "source": "pid-3", "n": 4,
+                "batch": [[float(v) for v in row] for row in X],
+            })
+    assert resp["source"] == "pid-3"
+    assert resp["n"] == 4
+    assert len(resp["labels"]) == 4
+
+
+def test_batch_n_mismatch_rejected(clf):
+    rng = np.random.default_rng(10)
+    X = rng.normal(size=(4, N_FEATURES))
+    with ServerThread(clf) as (host, port):
+        with ServeClient(host, port) as client:
+            resp = client.request({
+                "op": "classify", "id": 6, "n": 5,
+                "batch": [[float(v) for v in row] for row in X],
+            })
+    assert resp["error"] == "bad_request"
+
+
+def test_batch_wrong_width_rejected(clf):
+    with ServerThread(clf) as (host, port):
+        with ServeClient(host, port) as client:
+            with pytest.raises(ServeError, match="batch"):
+                client.classify_batch(np.zeros((2, N_FEATURES + 1)))

@@ -110,3 +110,118 @@ class TestMeasurePredictBatch:
 
         vps = measure_predict_batch(as_compiled(root), X, repeats=2)
         assert vps > 0
+
+
+def _router_pool(clf, n_workers=2):
+    from repro.serve.router import RouterThread
+
+    workers = [ServerThread(clf) for _ in range(n_workers)]
+    rt = RouterThread()
+    host, port = rt.start()
+    for i, thread in enumerate(workers):
+        whost, wport = thread.start()
+        rt.call(rt.router.add_worker, f"w{i}", whost, wport)
+    return rt, workers, host, port
+
+
+class TestRunScaleLoadgen:
+    @pytest.fixture(scope="class")
+    def clf(self):
+        rng = np.random.default_rng(2)
+        Xt = rng.normal(size=(150, len(FEATURES)))
+        y = ["bad-fs" if r[0] > 0 else "good" for r in Xt]
+        return C45Classifier().fit(Dataset(Xt, y, [e.name for e in FEATURES]))
+
+    def test_scale_run_accounting_exact(self, clf, stream):
+        from repro.serve.loadgen import ScaleResult, run_scale_loadgen
+
+        X, tags = stream
+        reps = 40  # 960 vectors across 5 distinct sources
+        Xs = np.tile(X, (reps, 1))
+        tags_s = tags * reps
+        rt, workers, host, port = _router_pool(clf)
+        try:
+            result = run_scale_loadgen(host, port, Xs, tags_s,
+                                       connections=3, batch=64)
+        finally:
+            rt.stop()
+            for w in workers:
+                w.stop()
+        assert isinstance(result, ScaleResult)
+        assert result.vectors == Xs.shape[0]
+        assert result.completed + result.shed + result.errors == \
+            result.vectors
+        assert result.errors == 0 and result.shed == 0
+        assert result.throughput_vps > 0
+        assert sum(result.labels.values()) == result.completed
+        # Router ledger agrees with the client-side tallies.
+        v = result.router["vectors"]
+        assert v["received"] == result.vectors
+        assert v["completed"] == result.completed
+        assert v["inflight"] == 0
+        # Verdict aggregation saw every window of every source.
+        assert result.fleet["windows"] == result.completed
+        assert result.fleet["sources"] == len(set(tags))
+
+    def test_scale_verdicts_match_single_server(self, clf, stream):
+        """The batched multi-connection router path produces exactly the
+        label multiset of the direct single-server path."""
+        from repro.serve.client import ServeClient
+        from repro.serve.loadgen import run_scale_loadgen
+
+        X, tags = stream
+        rt, workers, host, port = _router_pool(clf)
+        try:
+            result = run_scale_loadgen(host, port, X, tags,
+                                       connections=2, batch=8)
+        finally:
+            rt.stop()
+            for w in workers:
+                w.stop()
+        with ServerThread(clf) as (dhost, dport):
+            with ServeClient(dhost, dport) as direct:
+                expected = direct.classify_batch(X, rid=1)
+        from repro.utils.stats import tally
+
+        assert result.labels == tally(expected)
+
+    def test_payload_scale_section_provenance(self, clf, stream):
+        import os
+
+        from repro.serve.loadgen import run_scale_loadgen
+
+        X, tags = stream
+        rt, workers, host, port = _router_pool(clf)
+        try:
+            scale = run_scale_loadgen(host, port, X, tags,
+                                      connections=2, batch=8)
+        finally:
+            rt.stop()
+            for w in workers:
+                w.stop()
+        single = LoadGenResult(
+            requests=10, window=4, seconds=0.5, throughput_rps=20.0,
+            latency_ms={"p50": 1.0, "p95": 2.0, "p99": 3.0,
+                        "mean": 1.2, "max": 3.5},
+            shed=0, errors=0, labels={"good": 10}, server={},
+        )
+        doc = bench_payload(single, predict_batch_vps=1e6, mode="smoke",
+                            scale=scale, scale_shed_ceiling=0)
+        assert doc["cpus"] == os.cpu_count()
+        assert doc["affinity_cpus"] >= 1
+        section = doc["scale"]
+        assert section["workers"] == 2
+        assert section["router_config"]["max_worker_inflight"] > 0
+        assert section["shed_ceiling"] == 0
+        assert section["speedup_vs_single"] == pytest.approx(
+            scale.throughput_vps / 20.0, rel=0.01
+        )
+        import json
+
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+    def test_rejects_mismatched_tags(self, clf):
+        from repro.serve.loadgen import run_scale_loadgen
+
+        with pytest.raises(Exception):
+            run_scale_loadgen("127.0.0.1", 1, np.zeros((4, 3)), ["a"])

@@ -31,6 +31,31 @@ def tel():
     return t
 
 
+# ------------------------------------------------------------- histograms
+
+
+def test_observe_buckets_by_power_of_two():
+    t = Telemetry(enabled=True)
+    for v in (1, 2, 3, 64, 65, 0, -5):
+        t.observe("batch", v)
+    assert t.histograms["batch"] == {
+        "<=1": 1, "<=2": 1, "<=4": 1, "<=64": 1, "<=128": 1, "<=0": 2,
+    }
+    snap = t.snapshot()
+    assert snap["histograms"]["batch"]["<=128"] == 1
+
+
+def test_observe_noop_when_disabled_and_cleared_on_reset():
+    t = Telemetry(enabled=False)
+    t.observe("batch", 7)
+    assert t.histograms == {}
+    t.enable()
+    t.observe("batch", 7)
+    assert t.histograms["batch"] == {"<=8": 1}
+    t.reset()
+    assert t.histograms == {}
+
+
 # ------------------------------------------------------------ JSON export
 
 
